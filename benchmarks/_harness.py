@@ -1,0 +1,34 @@
+"""Shared bench harness.
+
+Each ``bench_<id>.py`` regenerates one paper table/figure via
+``repro.experiments``.  Under ``pytest --benchmark-only`` the experiment
+runs once inside pytest-benchmark (so wall-clock cost is recorded); the
+resulting table is printed and also written to ``benchmarks/results/``
+so the numbers survive output capture.
+
+Scale knobs: ``REPRO_N`` (accesses per trace) and ``REPRO_QUICK=1``
+shrink every experiment; see ``repro.experiments.common``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, exp_id: str, **kwargs):
+    """Run one experiment under pytest-benchmark and persist its table."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    fn = ALL_EXPERIMENTS[exp_id]
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
+                                iterations=1)
+    text = f"== {exp_id} ==\n{result.table()}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(result.rows)
+    return result

@@ -1,0 +1,20 @@
+"""Figure 10a: multi-core weighted speedup (1/2/4/8 cores).
+
+Workload mixes on a shared-LLC system; Streamline's margin should widen with cores.
+Run standalone: ``python benchmarks/bench_fig10a.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig10a(benchmark):
+    run_experiment(benchmark, "fig10a")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig10a"]().table())

@@ -1,0 +1,20 @@
+"""Figure 10b: per-mix S-curve at 4 cores.
+
+Paper: Streamline wins 77% of mixes.
+Run standalone: ``python benchmarks/bench_fig10b.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig10b(benchmark):
+    run_experiment(benchmark, "fig10b")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig10b"]().table())

@@ -1,0 +1,20 @@
+"""Figure 10c: speedup vs DRAM bandwidth.
+
+Bandwidth-scaled DRAM; Streamline should hold its margin at low bandwidth.
+Run standalone: ``python benchmarks/bench_fig10c.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig10c(benchmark):
+    run_experiment(benchmark, "fig10c")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig10c"]().table())

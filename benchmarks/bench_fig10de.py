@@ -1,0 +1,20 @@
+"""Figure 10d/e: prefetch coverage and accuracy.
+
+Paper: +12.5pp coverage, +3.6pp accuracy for Streamline.
+Run standalone: ``python benchmarks/bench_fig10de.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig10de(benchmark):
+    run_experiment(benchmark, "fig10de")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig10de"]().table())

@@ -1,0 +1,20 @@
+"""Figure 10f: speedup vs max prefetch degree.
+
+Streamline peaks at its stream length; Triangel is insensitive.
+Run standalone: ``python benchmarks/bench_fig10f.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig10f(benchmark):
+    run_experiment(benchmark, "fig10f")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig10f"]().table())

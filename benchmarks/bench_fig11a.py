@@ -1,0 +1,20 @@
+"""Figure 11a: single-core with Berti in the L1D.
+
+Streamline > Triangel > Berti-alone.
+Run standalone: ``python benchmarks/bench_fig11a.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig11a(benchmark):
+    run_experiment(benchmark, "fig11a")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig11a"]().table())

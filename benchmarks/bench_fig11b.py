@@ -1,0 +1,20 @@
+"""Figure 11b: multi-core with Berti in the L1D.
+
+Triangel's benefit shrinks; Streamline keeps a margin.
+Run standalone: ``python benchmarks/bench_fig11b.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig11b(benchmark):
+    run_experiment(benchmark, "fig11b")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig11b"]().table())

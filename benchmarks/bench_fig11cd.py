@@ -1,0 +1,20 @@
+"""Figure 11c/d: L2 regular prefetchers (IPCP/Bingo/SPP-PPF).
+
+Temporal prefetchers add coverage on top of regulars; Streamline adds about 2x Triangel's.
+Run standalone: ``python benchmarks/bench_fig11cd.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig11cd(benchmark):
+    run_experiment(benchmark, "fig11cd")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig11cd"]().table())

@@ -1,0 +1,20 @@
+"""Figure 12a: stream-length sweep.
+
+Length 4 should maximize coverage (capacity vs missed triggers).
+Run standalone: ``python benchmarks/bench_fig12a.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig12a(benchmark):
+    run_experiment(benchmark, "fig12a")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig12a"]().table())

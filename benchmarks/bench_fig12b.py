@@ -1,0 +1,20 @@
+"""Figure 12b: metadata redundancy +- stream alignment.
+
+Alignment should roughly halve the redundancy rate.
+Run standalone: ``python benchmarks/bench_fig12b.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig12b(benchmark):
+    run_experiment(benchmark, "fig12b")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig12b"]().table())

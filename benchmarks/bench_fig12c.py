@@ -1,0 +1,20 @@
+"""Figure 12c: metadata-buffer size sweep.
+
+3 entries reach the alignment-rate knee.
+Run standalone: ``python benchmarks/bench_fig12c.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig12c(benchmark):
+    run_experiment(benchmark, "fig12c")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig12c"]().table())

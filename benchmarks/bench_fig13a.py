@@ -1,0 +1,20 @@
+"""Figure 13a: speedup vs metadata capacity.
+
+Streamline@0.5MB should match Triangel@1MB; Triangel-Ideal included.
+Run standalone: ``python benchmarks/bench_fig13a.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig13a(benchmark):
+    run_experiment(benchmark, "fig13a")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig13a"]().table())

@@ -1,0 +1,20 @@
+"""Figure 13b: metadata traffic vs capacity.
+
+Streamline's traffic ratio shrinks with the store (filtered indexing).
+Run standalone: ``python benchmarks/bench_fig13b.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig13b(benchmark):
+    run_experiment(benchmark, "fig13b")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig13b"]().table())

@@ -1,0 +1,20 @@
+"""Figure 13c: correlation hit rate, TP-Mockingjay vs SRRIP.
+
+TP-Mockingjay should raise the store hit rate.
+Run standalone: ``python benchmarks/bench_fig13c.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig13c(benchmark):
+    run_experiment(benchmark, "fig13c")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig13c"]().table())

@@ -1,0 +1,20 @@
+"""Figure 14: component ablation (+/- MB, SA, TSP, TP-MJ).
+
+Component pairs are synergistic; removing any component hurts.
+Run standalone: ``python benchmarks/bench_fig14.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig14(benchmark):
+    run_experiment(benchmark, "fig14")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig14"]().table())

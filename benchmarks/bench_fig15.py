@@ -1,0 +1,20 @@
+"""Figure 15: filtering loss and its mitigations.
+
+Realignment recovers most of the filtered-indexing coverage loss; skewed/hybrid variants included.
+Run standalone: ``python benchmarks/bench_fig15.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig15(benchmark):
+    run_experiment(benchmark, "fig15")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig15"]().table())

@@ -1,0 +1,20 @@
+"""Figure 9: single-core speedups per suite + irregular subset.
+
+Streamline vs Triangel over an IP-stride baseline across SPEC06/SPEC17/GAP.
+Run standalone: ``python benchmarks/bench_fig9.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_fig9(benchmark):
+    run_experiment(benchmark, "fig9")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["fig9"]().table())

@@ -1,0 +1,20 @@
+"""Table I: partitioning-scheme property matrix.
+
+Derived analytically from the partitioning mechanics; the FTS row must be the only all-good one.
+Run standalone: ``python benchmarks/bench_table1.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_table1(benchmark):
+    run_experiment(benchmark, "table1")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["table1"]().table())

@@ -1,0 +1,20 @@
+"""Table II: simulated system parameters.
+
+Dumps the scaled experiment configuration next to the paper's full-size one.
+Run standalone: ``python benchmarks/bench_table2.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_table2(benchmark):
+    run_experiment(benchmark, "table2")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["table2"]().table())

@@ -1,0 +1,20 @@
+"""Section V-D3: offline MIN vs TP-MIN replacement oracles.
+
+Replays correlation traces through both oracles; TP-MIN must win on correlation hit rate.
+Run standalone: ``python benchmarks/bench_tpmin.py``
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import run_experiment
+
+
+def test_tpmin(benchmark):
+    run_experiment(benchmark, "tpmin")
+
+
+if __name__ == "__main__":
+    from repro.experiments import ALL_EXPERIMENTS
+    print(ALL_EXPERIMENTS["tpmin"]().table())

@@ -1,0 +1,58 @@
+"""Explore Streamline's design space with the ablation API.
+
+Shows how to use :mod:`repro.core.variants` and the prefetcher's
+constructor flags to answer design questions the paper studies:
+stream length (Fig. 12a), buffer size (Fig. 12c), replacement policy
+(Fig. 13c), and the full component ablation (Fig. 14) -- on a workload
+of your choosing.
+
+Run:  python examples/design_space.py [workload] [accesses]
+"""
+
+import sys
+
+from repro.core.streamline import StreamlinePrefetcher
+from repro.core.variants import named_variants
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.engine import run_single
+from repro.sim.stats import format_table
+from repro.workloads import make
+
+
+def measure(trace, config, factory):
+    base = run_single(trace, config, l1_prefetcher=StridePrefetcher)
+    res = run_single(trace, config, l1_prefetcher=StridePrefetcher,
+                     l2_prefetchers=[factory])
+    tp = res.temporal
+    return (res.ipc / base.ipc, tp.coverage if tp else 0.0,
+            tp.accuracy if tp else 0.0)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gap.cc"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    config = SystemConfig().scaled_down(4)
+    trace = make(workload, n)
+
+    print(f"== stream length sweep on {workload} ==")
+    rows = []
+    for length in (2, 4, 8):
+        s, c, a = measure(trace, config,
+                          lambda: StreamlinePrefetcher(
+                              stream_length=length))
+        rows.append([length, f"{s:.3f}x", f"{c:.1%}", f"{a:.1%}"])
+    print(format_table(["length", "speedup", "coverage", "accuracy"],
+                       rows))
+
+    print("\n== component ablation ==")
+    rows = []
+    for name, factory in named_variants().items():
+        s, c, a = measure(trace, config, factory)
+        rows.append([name, f"{s:.3f}x", f"{c:.1%}", f"{a:.1%}"])
+    print(format_table(["variant", "speedup", "coverage", "accuracy"],
+                       rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Temporal prefetching on real graph-algorithm traces.
+
+Unlike the statistical GAP stand-ins, these traces come from actually
+running BFS / PageRank / Connected Components over an R-MAT graph
+(:mod:`repro.workloads.graphs`) and recording the kernels' memory
+accesses.  PageRank's gathers repeat exactly across iterations, BFS
+changes its traversal order per restart, and CC's label sweeps shrink
+as labels converge.
+
+This example is also an honest illustration of a *scale* effect: at
+laptop-simulation sizes the R-MAT power law concentrates most gathers
+on a hot vertex core that fits in the LLC, so ceding LLC capacity to
+metadata costs more than the covered misses save -- coverage is real
+(roughly the paper's GAP range) while speedup is not.  The paper's GAP
+runs use multi-GB graphs whose hot cores dwarf any LLC; the statistical
+generators in ``repro.workloads.suites`` model *that* regime, which is
+why the headline figures use them.
+
+Run:  python examples/graph_kernels.py [vertices] [edges_per_vertex]
+"""
+
+import sys
+
+from repro.core.streamline import StreamlinePrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.engine import run_single
+from repro.sim.stats import format_table
+from repro.workloads.graphs import (bfs_trace, cc_trace, pagerank_trace,
+                                    rmat_graph)
+
+
+def main() -> None:
+    vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 16384
+    degree = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    graph = rmat_graph(vertices=vertices, edges_per_vertex=degree,
+                       seed=11)
+    print(f"R-MAT graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges "
+          f"(max degree {max(graph.degree(v) for v in range(vertices))})\n")
+
+    config = SystemConfig().scaled_down(4)
+    kernels = {
+        "pagerank": pagerank_trace(graph, iterations=4),
+        "bfs": bfs_trace(graph, restarts=4),
+        "cc": cc_trace(graph, max_iterations=6),
+    }
+    rows = []
+    for name, trace in kernels.items():
+        base = run_single(trace, config, l1_prefetcher=StridePrefetcher)
+        row = [name, len(trace)]
+        for factory in (TriangelPrefetcher, StreamlinePrefetcher):
+            res = run_single(trace, config,
+                             l1_prefetcher=StridePrefetcher,
+                             l2_prefetchers=[factory])
+            tp = res.temporal
+            row.append(f"{res.ipc / base.ipc:.2f}x "
+                       f"(cov {tp.coverage:.0%}, acc {tp.accuracy:.0%})")
+        rows.append(row)
+    print(format_table(
+        ["kernel", "accesses", "triangel", "streamline"], rows))
+    print("\nStreamline finds far more coverage than Triangel on the "
+          "repeating gathers -- but at this scale the graph's hot core "
+          "is LLC-resident, so the metadata partition costs more than "
+          "the covered misses save (see the module docstring).  The "
+          "suite generators model the paper's LLC-dwarfing regime.")
+
+
+if __name__ == "__main__":
+    main()

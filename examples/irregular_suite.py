@@ -1,0 +1,55 @@
+"""Survey every prefetcher across the irregular workload archetypes.
+
+This is the paper's motivating scenario: pointer chases, graph sweeps,
+and scan-polluted chases, where regular prefetchers fail and temporal
+prefetchers shine.  Each row shows how a prefetcher family handles one
+archetype -- stride covers the stream, nothing covers the chase except
+the temporal prefetchers, and Triangel's bypass wins on the scan mix.
+
+Run:  python examples/irregular_suite.py [accesses]
+"""
+
+import sys
+
+from repro.core.streamline import StreamlinePrefetcher
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.engine import run_single
+from repro.sim.stats import format_table
+from repro.workloads import make
+
+WORKLOADS = ["06.omnetpp", "gap.pr", "06.mcf", "06.lbm"]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    config = SystemConfig().scaled_down(4)
+    rows = []
+    for wl in WORKLOADS:
+        trace = make(wl, n)
+        base = run_single(trace, config)
+        configs = {
+            "ip-stride": dict(l1_prefetcher=StridePrefetcher),
+            "berti": dict(l1_prefetcher=BertiPrefetcher),
+            "stride+triangel": dict(l1_prefetcher=StridePrefetcher,
+                                    l2_prefetchers=[TriangelPrefetcher]),
+            "stride+streamline": dict(
+                l1_prefetcher=StridePrefetcher,
+                l2_prefetchers=[StreamlinePrefetcher]),
+        }
+        row = [wl]
+        for kwargs in configs.values():
+            res = run_single(trace, config, **kwargs)
+            row.append(f"{res.ipc / base.ipc:.2f}x")
+        rows.append(row)
+    print(format_table(["workload", "ip-stride", "berti",
+                        "stride+triangel", "stride+streamline"], rows))
+    print("\nRegular prefetchers cover the regular workload (lbm); only "
+          "the temporal prefetchers cover the chases and graphs, and "
+          "Streamline covers more of them than Triangel.")
+
+
+if __name__ == "__main__":
+    main()

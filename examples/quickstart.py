@@ -1,0 +1,43 @@
+"""Quickstart: run Streamline against Triangel on one workload.
+
+Builds a synthetic PageRank-like trace, simulates the baseline system
+(IP-stride L1D prefetcher only), then adds Triangel and Streamline in
+turn, and prints speedup / coverage / accuracy / metadata traffic.
+
+Run:  python examples/quickstart.py [workload] [accesses]
+"""
+
+import sys
+
+from repro import quick_compare
+from repro.sim.stats import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gap.pr"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    print(f"Simulating {workload} ({n} memory accesses)...\n")
+    results = quick_compare(workload, n=n)
+    base = results["baseline"]
+
+    rows = []
+    for name, res in results.items():
+        tp = res.temporal
+        rows.append([
+            name,
+            f"{res.ipc:.3f}",
+            f"{res.ipc / base.ipc:.3f}x",
+            f"{tp.coverage:.1%}" if tp else "-",
+            f"{tp.accuracy:.1%}" if tp else "-",
+            f"{tp.metadata_traffic_bytes // 1024}KB" if tp else "-",
+        ])
+    print(format_table(
+        ["config", "IPC", "speedup", "coverage", "accuracy",
+         "metadata traffic"], rows))
+    print("\nStreamline's win comes from storage efficiency: the same "
+          "LLC partition holds 33% more correlations, and filtered "
+          "indexing keeps resizes free.")
+
+
+if __name__ == "__main__":
+    main()

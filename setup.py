@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+The offline environment ships setuptools without the `wheel` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+``pip install -e . --no-build-isolation`` falls back to this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro: a from-scratch reproduction of the Streamline temporal prefetcher.
+
+Streamline ("Streamlined On-Chip Temporal Prefetching", Duong & Lin,
+HPCA 2026) is an on-chip temporal prefetcher built on a stream-based
+metadata representation.  This package contains:
+
+* :mod:`repro.core` - the Streamline prefetcher itself (the paper's
+  contribution) and its components: stream entries, stream alignment,
+  tagged set-partitioning with filtered indexing, TP-Mockingjay
+  replacement, utility-aware dynamic partitioning, stability-based degree
+  control, and ablation variants.
+* :mod:`repro.memory` - the cache/DRAM substrate.
+* :mod:`repro.prefetchers` - baselines: IP-stride, Berti, IPCP, Bingo,
+  SPP-PPF, Triage, and Triangel.
+* :mod:`repro.sim` - trace format, single- and multi-core engines, stats.
+* :mod:`repro.workloads` - synthetic SPEC06/SPEC17/GAP stand-ins.
+* :mod:`repro.analysis` - offline analyses (TP-MIN, redundancy, Table I).
+* :mod:`repro.experiments` - one module per paper table/figure.
+
+Quickstart::
+
+    from repro import quick_compare
+    print(quick_compare("gap.pr", n=50_000))
+"""
+
+from .sim import SimResult, SystemConfig, run_multicore, run_single
+from .sim.trace import Trace
+from .version import __version__
+
+__all__ = ["SimResult", "SystemConfig", "run_multicore", "run_single",
+           "Trace", "__version__", "quick_compare"]
+
+
+def quick_compare(workload: str, n: int = 50_000, seed: int = 1234):
+    """Run baseline / Triangel / Streamline on one workload.
+
+    Returns a dict of configuration name -> :class:`SimResult`; a
+    convenience wrapper for interactive exploration (see
+    ``examples/quickstart.py``).
+    """
+    from .core.streamline import StreamlinePrefetcher
+    from .experiments.common import experiment_config
+    from .prefetchers.stride import StridePrefetcher
+    from .prefetchers.triangel import TriangelPrefetcher
+    from .workloads import make
+
+    trace = make(workload, n, seed)
+    cfg = experiment_config()  # the 1/4-scale hierarchy the suite targets
+    stride = StridePrefetcher
+    return {
+        "baseline": run_single(trace, cfg, l1_prefetcher=stride),
+        "triangel": run_single(trace, cfg, l1_prefetcher=stride,
+                               l2_prefetchers=[TriangelPrefetcher]),
+        "streamline": run_single(trace, cfg, l1_prefetcher=stride,
+                                 l2_prefetchers=[StreamlinePrefetcher]),
+    }

@@ -1,0 +1,12 @@
+"""Offline analyses: replacement oracles, redundancy, Table I."""
+
+from .partition_table import (SchemeProperties, build_table, classify,
+                              render_table)
+from .redundancy import RedundancyReport, measure
+from .tpmin import OracleResult, compare, replay
+
+__all__ = [
+    "SchemeProperties", "build_table", "classify", "render_table",
+    "RedundancyReport", "measure",
+    "OracleResult", "compare", "replay",
+]

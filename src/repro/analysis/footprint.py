@@ -1,0 +1,140 @@
+"""Trace characterization: footprints, reuse, and metadata demand.
+
+These analyses answer the sizing questions behind the paper's
+evaluation choices:
+
+* :func:`characterize` - block footprint, reuse-distance profile, and
+  per-PC statistics of a trace (is it memory-intensive? irregular?).
+* :func:`metadata_demand` - how many pairwise vs. stream correlations a
+  trace needs for full temporal coverage, i.e. the 33%-capacity
+  argument of Figure 1 measured on a concrete trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.stream_entry import ENTRIES_PER_BLOCK
+from ..memory.address import block_of
+from ..sim.trace import Trace
+
+
+@dataclass
+class TraceProfile:
+    """Summary statistics for one trace."""
+
+    name: str
+    accesses: int
+    footprint_blocks: int
+    unique_pcs: int
+    dependent_fraction: float
+    median_reuse_distance: float   # in distinct blocks; inf if no reuse
+    irregular_fraction: float      # accesses whose block delta is not
+                                   # one of the PC's two hottest strides
+
+    @property
+    def footprint_bytes(self) -> int:
+        return 64 * self.footprint_blocks
+
+
+def characterize(trace: Trace, reuse_sample: int = 4096) -> TraceProfile:
+    """Profile a trace (reuse distances are sampled for tractability)."""
+    blocks = np.asarray(trace.addrs) >> 6
+    # Reuse distances via last-seen positions and distinct-count proxy.
+    last_pos: Dict[int, int] = {}
+    distances: List[int] = []
+    stride = max(1, len(blocks) // reuse_sample)
+    for i, blk in enumerate(blocks.tolist()):
+        prev = last_pos.get(blk)
+        if prev is not None and i % stride == 0:
+            distances.append(i - prev)  # time distance proxy
+        last_pos[blk] = i
+    median = float(np.median(distances)) if distances else float("inf")
+    # Irregularity: per PC, how often the delta is off the top-2 strides.
+    deltas: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    last_blk: Dict[int, int] = {}
+    pcs = trace.pcs.tolist()
+    for pc, blk in zip(pcs, blocks.tolist()):
+        if pc in last_blk:
+            deltas[pc][blk - last_blk[pc]] += 1
+        last_blk[pc] = blk
+    irregular = total = 0
+    for pc, table in deltas.items():
+        counts = sorted(table.values(), reverse=True)
+        pc_total = sum(counts)
+        total += pc_total
+        irregular += pc_total - sum(counts[:2])
+    return TraceProfile(
+        name=trace.name,
+        accesses=len(trace),
+        footprint_blocks=int(np.unique(blocks).size),
+        unique_pcs=trace.unique_pcs(),
+        dependent_fraction=float(trace.deps.mean()) if len(trace) else 0.0,
+        median_reuse_distance=median,
+        irregular_fraction=irregular / total if total else 0.0,
+    )
+
+
+@dataclass
+class MetadataDemand:
+    """Correlations needed for full temporal coverage of a trace."""
+
+    pairwise_correlations: int
+    stream_entries: int            # at the given stream length
+    stream_correlations: int       # entries * length
+    stream_length: int
+
+    @property
+    def pairwise_blocks(self) -> int:
+        """64B blocks for the pairwise format (12 corr/block)."""
+        return -(-self.pairwise_correlations // 12)
+
+    @property
+    def stream_blocks(self) -> int:
+        epb = ENTRIES_PER_BLOCK[self.stream_length]
+        return -(-self.stream_entries // epb)
+
+    @property
+    def capacity_advantage(self) -> float:
+        """Pairwise blocks / stream blocks (paper: ~4/3 at length 4)."""
+        if not self.stream_blocks:
+            return 1.0
+        return self.pairwise_blocks / self.stream_blocks
+
+
+def metadata_demand(trace: Trace, stream_length: int = 4
+                    ) -> MetadataDemand:
+    """Count the distinct correlations a trace's PC-localized history
+    contains, in both formats.
+
+    Pairwise: one (trigger -> target) pair per distinct consecutive
+    block pair per PC.  Stream: entries of ``stream_length`` successors
+    carved from each PC's access sequence (greedy, as the training unit
+    would with perfectly aligned streams).
+    """
+    if stream_length not in ENTRIES_PER_BLOCK:
+        raise ValueError(f"unsupported stream length {stream_length}")
+    per_pc: Dict[int, List[int]] = defaultdict(list)
+    for pc, addr, _w, _g, _d in trace:
+        blk = block_of(addr)
+        seq = per_pc[pc]
+        if not seq or seq[-1] != blk:
+            seq.append(blk)
+    pairs = set()
+    entries = set()
+    for pc, seq in per_pc.items():
+        for a, b in zip(seq, seq[1:]):
+            pairs.add((pc, a, b))
+        for i in range(0, len(seq) - 1, stream_length):
+            window = tuple(seq[i:i + stream_length + 1])
+            entries.add((pc,) + window)
+    return MetadataDemand(
+        pairwise_correlations=len(pairs),
+        stream_entries=len(entries),
+        stream_correlations=len(entries) * stream_length,
+        stream_length=stream_length,
+    )

@@ -1,0 +1,108 @@
+"""Table I: properties of the eight partitioning schemes.
+
+The paper's Table I classifies every combination of
+Rearranged/Filtered indexing x Untagged/Tagged x Way/Set partitioning by
+whether it (a) avoids low associativity at small and big partition
+sizes and (b) avoids expensive repartitioning.  Rather than hard-coding
+the table, this module *derives* each cell from the mechanics the rest
+of the package implements, so the table doubles as a consistency check
+of the model:
+
+* associativity: untagged schemes pin an entry to one way (4 stream
+  entries of reach); tagged-way schemes gain the ways at big sizes but a
+  1-2 way partition still collapses; tagged-set keeps 8 ways x 4 entries
+  at every size.
+* repartitioning: rearranged indexing moves misplaced blocks on every
+  resize; filtered indexing never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List
+
+from ..core.stream_entry import ENTRIES_PER_BLOCK
+
+GOOD_ASSOCIATIVITY = 16   # entries of reach needed to call a scheme "ok"
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """One row of Table I."""
+
+    code: str                       # e.g. "FTS"
+    indexing: str                   # rearranged | filtered
+    tagged: bool
+    axis: str                       # way | set
+    assoc_small: int                # entry reach at the smallest size
+    assoc_big: int                  # entry reach at the largest size
+    cheap_repartitioning: bool
+
+    @property
+    def low_assoc_small(self) -> bool:
+        return self.assoc_small < GOOD_ASSOCIATIVITY
+
+    @property
+    def low_assoc_big(self) -> bool:
+        return self.assoc_big < GOOD_ASSOCIATIVITY
+
+
+def _associativity(tagged: bool, axis: str, meta_ways: int,
+                   stream_length: int) -> int:
+    """Entries a trigger can occupy at a given partition configuration."""
+    epb = ENTRIES_PER_BLOCK[stream_length]
+    if not tagged:
+        return epb                     # pinned to one way by the index
+    return meta_ways * epb             # free placement within the set
+
+
+def classify(indexing: str, tagged: bool, axis: str,
+             stream_length: int = 4, llc_ways: int = 16) -> SchemeProperties:
+    """Derive one Table I row from the partitioning mechanics."""
+    if indexing not in ("rearranged", "filtered"):
+        raise ValueError("indexing must be 'rearranged' or 'filtered'")
+    if axis not in ("way", "set"):
+        raise ValueError("axis must be 'way' or 'set'")
+    # Smallest/biggest useful sizes: 1 way vs. half the LLC for the way
+    # axis; the set axis always dedicates 8 ways per allocated set.
+    small_ways = 1 if axis == "way" else llc_ways // 2
+    big_ways = llc_ways // 2
+    code = "".join((indexing[0].upper(), "T" if tagged else "U",
+                    axis[0].upper()))
+    return SchemeProperties(
+        code=code,
+        indexing=indexing,
+        tagged=tagged,
+        axis=axis,
+        assoc_small=_associativity(tagged, axis, small_ways, stream_length),
+        assoc_big=_associativity(tagged, axis, big_ways, stream_length),
+        cheap_repartitioning=(indexing == "filtered"),
+    )
+
+
+def build_table(stream_length: int = 4) -> List[SchemeProperties]:
+    """All eight rows, in the paper's order (RUW ... FTS)."""
+    rows = []
+    for axis, tagged, indexing in product(
+            ("way", "set"), (False, True), ("rearranged", "filtered")):
+        rows.append(classify(indexing, tagged, axis, stream_length))
+    order = ["RUW", "FUW", "RUS", "FUS", "RTW", "FTW", "RTS", "FTS"]
+    rows.sort(key=lambda r: order.index(r.code))
+    return rows
+
+
+def render_table(stream_length: int = 4) -> str:
+    """Plain-text Table I."""
+    def mark(bad: bool) -> str:
+        return "X" if bad else "OK"
+
+    lines = [f"{'Scheme':<8}{'SmallAssoc':<12}{'BigAssoc':<12}"
+             f"{'Repartitioning':<14}",
+             "-" * 46]
+    for r in build_table(stream_length):
+        lines.append(
+            f"{r.code:<8}{mark(r.low_assoc_small):<12}"
+            f"{mark(r.low_assoc_big):<12}"
+            f"{'cheap' if r.cheap_repartitioning else 'EXPENSIVE':<14}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Streamline: the paper's contribution, componentized."""
+
+from .alignment import align, find_alignable, realign
+from .degree import FixedDegreeController, StabilityDegreeController
+from .metadata_store import StoreStats, StreamStore
+from .partitioner import UtilityAwarePartitioner, accuracy_score
+from .replacement import (SRRIPStreamReplacement, StoredEntry,
+                          StreamReplacement, TPMockingjayReplacement,
+                          make_stream_replacement)
+from .stream_entry import (ENTRIES_PER_BLOCK, StreamEntry,
+                           correlations_per_block)
+from .streamline import StreamlinePrefetcher
+from .training_unit import PCEntry, StreamTrainingUnit
+
+__all__ = [
+    "align", "find_alignable", "realign",
+    "FixedDegreeController", "StabilityDegreeController",
+    "StoreStats", "StreamStore",
+    "UtilityAwarePartitioner", "accuracy_score",
+    "SRRIPStreamReplacement", "StoredEntry", "StreamReplacement",
+    "TPMockingjayReplacement", "make_stream_replacement",
+    "ENTRIES_PER_BLOCK", "StreamEntry", "correlations_per_block",
+    "StreamlinePrefetcher",
+    "PCEntry", "StreamTrainingUnit",
+]

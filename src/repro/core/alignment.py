@@ -1,0 +1,74 @@
+"""Stream alignment (Section IV-B2, Figures 3 & 4) and realignment
+(Section IV-C).
+
+*Misalignment*: a newly completed entry overlaps an older one but starts
+at a different trigger, e.g. old [A; B,C,D,E] and new [B; C,D,E,F].
+Naively storing both wastes capacity (redundancy) and leaves the old
+entry stale when the stream changes ([A; B,C,D,E] vs. new [B; C,X,Y,Z]).
+
+:func:`align` merges the two: the aligned entry keeps the *old* trigger
+and takes the *new* correlations for the overlapping region; whatever
+does not fit bootstraps the next stream entry.
+
+*Realignment* handles filtered triggers: if an entry's trigger maps to
+an LLC set that the current partition does not allocate, the entry can
+be re-anchored one step earlier (the access before the trigger), moving
+every address one slot to the right; the displaced final address
+bootstraps the next entry.  :func:`realign` implements that shift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .stream_entry import StreamEntry
+
+
+def find_alignable(buffer_entries: List[StreamEntry],
+                   new_entry: StreamEntry) -> Optional[StreamEntry]:
+    """Return the buffered entry that ``new_entry`` misaligns with.
+
+    The match is any entry that *contains* the new trigger, except as its
+    final address (then the streams chain back-to-back with no overlap,
+    which is the normal, aligned case).
+    """
+    for old in buffer_entries:
+        pos = old.position_of(new_entry.trigger)
+        if 0 <= pos < len(old.addresses) - 1:
+            return old
+    return None
+
+
+def align(old: StreamEntry, new: StreamEntry
+          ) -> Tuple[StreamEntry, List[int]]:
+    """Merge a misaligned (old, new) pair into one aligned entry.
+
+    The aligned entry keeps ``old``'s trigger and the prefix of ``old``
+    up to (and including) ``new``'s trigger, then continues with
+    ``new``'s correlations -- so stale old suffixes are overwritten
+    (Fig. 4b).  Returns ``(aligned, leftover)`` where ``leftover`` is the
+    list of new-entry addresses that did not fit; the caller uses it to
+    bootstrap the next stream entry (Fig. 3b).
+    """
+    pos = old.position_of(new.trigger)
+    if pos < 0:
+        raise ValueError("entries do not overlap; nothing to align")
+    merged = old.addresses[:pos + 1] + new.targets
+    aligned = StreamEntry(merged[0], old.length,
+                          merged[1:old.length + 1], pc=new.pc)
+    leftover = merged[old.length + 1:]
+    return aligned, leftover
+
+
+def realign(entry: StreamEntry, prev_addr: Optional[int]
+            ) -> Optional[StreamEntry]:
+    """Re-anchor a filtered entry to the access before its trigger.
+
+    Given entry (B; A2, A3, ...) whose trigger B is filtered, and the
+    prior access A1, produce (A1; B, A2, ...) -- same length, last
+    target dropped.  Returns None when there is no prior access to use.
+    """
+    if prev_addr is None or prev_addr == entry.trigger:
+        return None
+    shifted = [entry.trigger] + entry.targets[:entry.length - 1]
+    return StreamEntry(prev_addr, entry.length, shifted, pc=entry.pc)

@@ -1,0 +1,61 @@
+"""Stability-based degree control (Section IV-E6).
+
+A stable PC walks its recorded streams in order: with stream length 4 it
+hits its metadata buffer ~75% of the time and fetches a new entry only
+every fourth access.  An unstable PC keeps missing the buffer and
+refetching.  Streamline therefore counts metadata-buffer insertions per
+1024-access epoch and maps them to a prefetch degree:
+
+    < 400 insertions -> degree 4      < 800 -> degree 2
+    < 600 insertions -> degree 3      else -> degree 1
+
+The thresholds scale proportionally if a different epoch length is used
+(tests use short epochs).
+"""
+
+from __future__ import annotations
+
+from .training_unit import PCEntry
+
+PAPER_EPOCH = 1024
+PAPER_THRESHOLDS = ((400, 4), (600, 3), (800, 2))
+
+
+class StabilityDegreeController:
+    """Maps per-PC instability to a prefetch degree each epoch."""
+
+    def __init__(self, epoch: int = PAPER_EPOCH, max_degree: int = 4):
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        self.epoch = epoch
+        self.max_degree = max_degree
+        scale = epoch / PAPER_EPOCH
+        self._thresholds = [(t * scale, d) for t, d in PAPER_THRESHOLDS]
+
+    def degree_for(self, insertions: float) -> int:
+        for threshold, degree in self._thresholds:
+            if insertions < threshold:
+                return min(degree, self.max_degree)
+        return 1
+
+    def on_access(self, st: PCEntry) -> int:
+        """Advance the PC's epoch; returns its current degree."""
+        st.epoch_accesses += 1
+        if st.epoch_accesses >= self.epoch:
+            st.degree = self.degree_for(st.epoch_insertions)
+            st.epoch_accesses = 0
+            st.epoch_insertions = 0
+        return min(st.degree, self.max_degree)
+
+
+class FixedDegreeController:
+    """Ablation: constant degree regardless of stability."""
+
+    def __init__(self, degree: int = 4):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+
+    def on_access(self, st: PCEntry) -> int:
+        st.epoch_accesses += 1
+        return self.degree

@@ -1,0 +1,179 @@
+"""Utility-aware dynamic partitioning (Sections IV-D2 and IV-E4).
+
+Triangel's set dueling maximizes the combined hit rate of data and
+*triggers*, weighting every metadata hit equally.  Streamline instead
+scores metadata hits by the prefetcher's current accuracy, because a
+metadata hit that produces a wrong prefetch has no utility.
+
+Candidate sizes are the paper's three: none / half / full (expressed as
+``every_nth`` = 0 / 2 / 1 allocated LLC sets).  Utility estimates:
+
+* **data**: shadow-LRU stack distances on sampled LLC sets.  An access
+  at stack distance d hits a configuration iff that set keeps at least
+  d+1 data ways under it (allocated sets keep ``llc_ways - meta_ways``).
+* **metadata**: hits observed in the 64 permanently allocated sample
+  sets, weighted by the accuracy band (paper's 2/3/4/6/7/8 scores, +16
+  for data) and scaled by the fraction of triggers each size leaves
+  unfiltered (1, 1/2, ~1/8-for-permanent-only).
+
+``equal_weights=True`` reverts to Triangel-style scoring (the ablation
+in Section V-D3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: (accuracy lower bound, score) per the paper's bands.
+ACCURACY_SCORES: Tuple[Tuple[float, int], ...] = (
+    (0.95, 8), (0.90, 7), (0.70, 6), (0.50, 4), (0.25, 3), (0.10, 2),
+)
+DATA_HIT_SCORE = 16
+
+
+def accuracy_score(accuracy: float) -> int:
+    """Paper's piecewise score for one accurate-ish metadata hit."""
+    for bound, score in ACCURACY_SCORES:
+        if accuracy >= bound:
+            return score
+    return 1
+
+
+class UtilityAwarePartitioner:
+    """Accuracy-scored set dueling over {none, half, full} partitions."""
+
+    # Data-side shadow-LRU sample sets: two offsets per 8-set group, one
+    # odd and one even, so every candidate size sees a representative
+    # mix of sets it would and would not allocate.  Offsets avoid 0,
+    # which is where the permanent metadata sample sets live.
+    SAMPLE_MOD = 8
+    SAMPLE_OFFSETS = (1, 2)
+
+    def __init__(self, llc_sets: int, llc_ways: int, meta_ways: int = 8,
+                 sizes: Sequence[int] = (0, 2, 1),
+                 epoch: int = 1 << 15, permanent_every: int = 8,
+                 equal_weights: bool = False,
+                 correlations_per_hit: int = 1):
+        self.llc_sets = llc_sets
+        self.llc_ways = llc_ways
+        self.meta_ways = meta_ways
+        self.sizes = list(sizes)
+        self.epoch = epoch
+        self.permanent_every = permanent_every
+        self.equal_weights = equal_weights
+        # One stream-entry hit serves `stream_length` correlations, so a
+        # store-level hit observation is worth that many unit hits.
+        self.correlations_per_hit = max(1, correlations_per_hit)
+        self.scores: Dict[int, float] = {s: 0.0 for s in self.sizes}
+        self._shadow: Dict[int, "OrderedDict[int, bool]"] = {}
+        self._sampled = 0
+        self.decisions: List[int] = []
+        # The first epoch is short so a uselessly allocated partition is
+        # released before it has cost a quarter of the run.
+        self._bootstrap = True
+
+    # -- allocation rule shared with the store --------------------------------
+
+    def _allocated(self, set_idx: int, every_nth: int) -> bool:
+        if every_nth and set_idx % every_nth == 0:
+            return True
+        return self.permanent_every and set_idx % self.permanent_every == 0
+
+    def _unfiltered_fraction(self, every_nth: int) -> float:
+        if every_nth:
+            return 1.0 / every_nth
+        return 1.0 / self.permanent_every if self.permanent_every else 0.0
+
+    # -- observations --------------------------------------------------------------
+
+    def observe_data(self, blk: int,
+                     set_idx: Optional[int] = None) -> None:
+        """One demand access that reached the LLC.
+
+        ``set_idx`` is the access's set in *this partitioner's* index
+        space (the owning core's stripe); multi-core callers map the LLC
+        set to the stripe-local index, single-core callers can omit it.
+        """
+        self._sampled += 1
+        if set_idx is None:
+            set_idx = blk % self.llc_sets
+        if set_idx % self.SAMPLE_MOD not in self.SAMPLE_OFFSETS:
+            return
+        lru = self._shadow.setdefault(set_idx, OrderedDict())
+        if blk in lru:
+            distance = 0
+            for b in reversed(lru):
+                if b == blk:
+                    break
+                distance += 1
+            lru.move_to_end(blk)
+            for s in self.sizes:
+                data_ways = (self.llc_ways - self.meta_ways
+                             if self._allocated(set_idx, s)
+                             else self.llc_ways)
+                if distance < data_ways:
+                    # Scale by the sampling ratio so data and metadata
+                    # utilities are in the same "whole-cache" units.
+                    ratio = self.SAMPLE_MOD / len(self.SAMPLE_OFFSETS)
+                    self.scores[s] += DATA_HIT_SCORE * ratio
+        else:
+            lru[blk] = True
+            if len(lru) > self.llc_ways:
+                lru.popitem(last=False)
+
+    def observe_metadata_hit(self, set_idx: int, accuracy: float) -> None:
+        """A metadata hit observed in one of the permanent sample sets
+        (which exist at every size, so the observation is unbiased)."""
+        self._sampled += 1
+        weight = (DATA_HIT_SCORE if self.equal_weights
+                  else accuracy_score(accuracy))
+        weight *= max(1, self.permanent_every)  # sampling ratio
+        weight *= self.correlations_per_hit
+        for s in self.sizes:
+            self.scores[s] += weight * self._unfiltered_fraction(s)
+
+    # -- decisions ------------------------------------------------------------------
+
+    @property
+    def epoch_elapsed(self) -> bool:
+        target = self.epoch // 4 if self._bootstrap else self.epoch
+        return self._sampled >= target
+
+    def decide(self, current: Optional[int] = None,
+               hysteresis: float = 1.10,
+               shrink_hysteresis: float = 1.5) -> int:
+        """Pick the winning ``every_nth`` and reset the epoch.
+
+        Ties keep the current size, and the hysteresis is asymmetric:
+        *shrinking* discards metadata (filtered indexing drops entries
+        in deallocated sets) that takes a full working-set lap to
+        relearn, so a smaller challenger must win by
+        ``shrink_hysteresis``; growing is non-destructive and only needs
+        ``hysteresis``.
+        """
+        if current is not None and current in self.scores:
+            incumbent = current
+        else:
+            incumbent = self.sizes[-1]
+        inc_frac = self._unfiltered_fraction(incumbent)
+        best = incumbent
+        for s in self.sizes:
+            margin = (shrink_hysteresis
+                      if self._unfiltered_fraction(s) < inc_frac
+                      else hysteresis)
+            if self.scores[s] > self.scores[best] and \
+                    self.scores[s] > margin * self.scores[incumbent]:
+                best = s
+        # Move one rung per epoch: shrinking straight to zero on one
+        # epoch's evidence wipes a store that takes a full working-set
+        # lap to rebuild; gradual moves cap the damage of a wrong call.
+        ladder = sorted(self.sizes, key=self._unfiltered_fraction)
+        i, j = ladder.index(incumbent), ladder.index(best)
+        if abs(j - i) > 1:
+            best = ladder[i + (1 if j > i else -1)]
+        self.scores = {s: 0.0 for s in self.sizes}
+        self._sampled = 0
+        self._bootstrap = False
+        self.decisions.append(best)
+        return best

@@ -1,0 +1,98 @@
+"""Streamline's training unit (Section IV-E2).
+
+One entry per load PC (256-entry LRU table).  Each entry tracks:
+
+* the **current stream** being accumulated (trigger + up to L targets);
+* the address seen just *before* the current trigger, kept for stream
+  realignment when the trigger turns out to be filtered (Section IV-C);
+* a small per-PC **metadata buffer** (3 entries in the paper) holding
+  recently fetched/constructed stream entries -- the structure that both
+  serves prefetch lookups and makes stream alignment possible;
+* instability counters for stability-based degree control (IV-E6).
+
+Unlike Triangel's shared MRB, the buffer is per-PC on purpose: alignment
+needs the candidate old entries for *this* PC's stream at hand.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from .stream_entry import StreamEntry
+
+
+class PCEntry:
+    """Training-unit state for one load PC."""
+
+    __slots__ = ("pc", "stream", "prev_addr", "buffer", "buffer_size",
+                 "epoch_insertions", "epoch_accesses", "degree")
+
+    def __init__(self, pc: int, buffer_size: int = 3):
+        self.pc = pc
+        self.stream: Optional[StreamEntry] = None
+        self.prev_addr: Optional[int] = None
+        self.buffer: List[StreamEntry] = []
+        self.buffer_size = buffer_size
+        self.epoch_insertions = 0
+        self.epoch_accesses = 0
+        self.degree = 1
+
+    # -- metadata buffer ------------------------------------------------------
+
+    def buffer_find(self, blk: int,
+                    need_successors: bool = False) -> Optional[StreamEntry]:
+        """Entry containing ``blk``; MRU-promotes the hit.
+
+        With ``need_successors`` an entry whose *final* address is ``blk``
+        does not count: the prefetch path wants the entry that continues
+        past ``blk`` (the chained next entry may also be buffered).
+        """
+        for i, entry in enumerate(self.buffer):
+            if not entry.contains(blk):
+                continue
+            if need_successors and not entry.successors_after(blk):
+                continue
+            if i:
+                self.buffer.insert(0, self.buffer.pop(i))
+            return entry
+        return None
+
+    def buffer_insert(self, entry: StreamEntry) -> None:
+        """Install an entry at MRU, evicting beyond ``buffer_size``."""
+        if self.buffer_size <= 0:
+            return
+        # Replace any buffered entry with the same trigger.
+        self.buffer = [e for e in self.buffer
+                       if e.trigger != entry.trigger]
+        self.buffer.insert(0, entry)
+        del self.buffer[self.buffer_size:]
+
+
+class StreamTrainingUnit:
+    """The 256-entry LRU table of :class:`PCEntry` records."""
+
+    def __init__(self, size: int = 256, buffer_size: int = 3):
+        if size < 1:
+            raise ValueError("TU size must be >= 1")
+        self.size = size
+        self.buffer_size = buffer_size
+        self._table: "OrderedDict[int, PCEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, pc: int) -> PCEntry:
+        """Fetch (or allocate) the entry for ``pc``; LRU-promotes it."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.size:
+                self._table.popitem(last=False)
+            entry = PCEntry(pc, self.buffer_size)
+            self._table[pc] = entry
+        else:
+            self._table.move_to_end(pc)
+        return entry
+
+    def entries(self) -> List[PCEntry]:
+        return list(self._table.values())

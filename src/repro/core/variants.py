@@ -1,0 +1,103 @@
+"""Ablation variants of Streamline (Figure 14 and the design sweeps).
+
+The paper builds its ablation in two directions from two anchors:
+
+* ``streamline_unopt`` - *only* the stream-based metadata format: no
+  metadata buffer, no stream alignment, Triangel-style way partitioning
+  with a rearranged two-level index, SRRIP replacement, fixed degree.
+* ``streamline_full`` - the shipped design (all components on).
+
+``add_variant("mb", "sa")`` switches individual components on on top of
+unopt; ``remove_variant("tsp")`` switches one off from full.  Component
+keys:
+
+=====  ==========================================================
+key    component
+=====  ==========================================================
+mb     3-entry per-PC metadata buffer
+sa     stream alignment
+tsp    tagged set-partitioning + filtered indexing (vs. way/RUW)
+tpmj   TP-Mockingjay replacement (vs. SRRIP)
+uadp   utility-aware dynamic partitioning (vs. static full size)
+sdc    stability-based degree control (vs. fixed degree 4)
+=====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from .streamline import StreamlinePrefetcher
+
+COMPONENTS = ("mb", "sa", "tsp", "tpmj", "uadp", "sdc")
+
+Factory = Callable[[], StreamlinePrefetcher]
+
+
+def _build(enabled: FrozenSet[str], stream_length: int = 4,
+           buffer_size: int = 3, degree: int = 4,
+           **extra) -> StreamlinePrefetcher:
+    tsp = "tsp" in enabled
+    kwargs = dict(
+        stream_length=stream_length,
+        degree=degree,
+        buffer_size=buffer_size if "mb" in enabled else 0,
+        stream_alignment="sa" in enabled,
+        realignment=tsp,              # realignment only exists with FTS
+        axis="set" if tsp else "way",
+        tagged=tsp,
+        indexing="filtered" if tsp else "rearranged",
+        replacement="tp-mockingjay" if "tpmj" in enabled else "srrip",
+        dynamic="uadp" in enabled and tsp,
+        stability_degree="sdc" in enabled,
+    )
+    kwargs.update(extra)
+    return StreamlinePrefetcher(**kwargs)
+
+
+def _check(keys: Iterable[str]) -> FrozenSet[str]:
+    keys = frozenset(keys)
+    unknown = keys - set(COMPONENTS)
+    if unknown:
+        raise ValueError(f"unknown component(s) {sorted(unknown)}; "
+                         f"choose from {COMPONENTS}")
+    return keys
+
+
+def streamline_full(**extra) -> StreamlinePrefetcher:
+    """The complete Streamline design."""
+    return _build(frozenset(COMPONENTS), **extra)
+
+
+def streamline_unopt(**extra) -> StreamlinePrefetcher:
+    """Stream-based format only (the ablation baseline)."""
+    return _build(frozenset(), **extra)
+
+
+def add_variant(*components: str, **extra) -> Factory:
+    """Factory for unopt + the given components (Fig. 14's "+X" bars)."""
+    enabled = _check(components)
+    return lambda: _build(enabled, **extra)
+
+
+def remove_variant(*components: str, **extra) -> Factory:
+    """Factory for full minus the given components (Fig. 14's "-X" bars)."""
+    disabled = _check(components)
+    return lambda: _build(frozenset(COMPONENTS) - disabled, **extra)
+
+
+def named_variants() -> Dict[str, Factory]:
+    """The ablation set Figure 14 plots, in its display order."""
+    return {
+        "unopt": lambda: streamline_unopt(),
+        "+MB": add_variant("mb"),
+        "+SA": add_variant("sa"),
+        "+MB,SA": add_variant("mb", "sa"),
+        "+TSP": add_variant("mb", "sa", "tsp"),
+        "+TSP,TP-MJ": add_variant("mb", "sa", "tsp", "tpmj"),
+        "full": lambda: streamline_full(),
+        "-MB": remove_variant("mb"),
+        "-SA": remove_variant("sa"),
+        "-TSP": remove_variant("tsp"),
+        "-TP-MJ": remove_variant("tpmj"),
+    }

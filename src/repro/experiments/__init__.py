@@ -1,0 +1,35 @@
+"""One module per paper table/figure; see DESIGN.md for the index."""
+
+from . import fig9, fig10, fig11, fig12, fig13, fig14, fig15, tables
+from .common import (ExperimentResult, experiment_config,
+                     irregular_subset, run_matrix, run_mixes,
+                     workload_set)
+
+__all__ = ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+           "tables", "ExperimentResult", "experiment_config",
+           "irregular_subset", "run_matrix", "run_mixes",
+           "workload_set"]
+
+#: experiment id -> callable returning an ExperimentResult
+ALL_EXPERIMENTS = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "tpmin": tables.run_tpmin,
+    "fig9": fig9.run,
+    "fig10a": fig10.run_fig10a,
+    "fig10b": fig10.run_fig10b,
+    "fig10c": fig10.run_fig10c,
+    "fig10de": fig10.run_fig10de,
+    "fig10f": fig10.run_fig10f,
+    "fig11a": fig11.run_fig11a,
+    "fig11b": fig11.run_fig11b,
+    "fig11cd": fig11.run_fig11cd,
+    "fig12a": fig12.run_fig12a,
+    "fig12b": fig12.run_fig12b,
+    "fig12c": fig12.run_fig12c,
+    "fig13a": fig13.run_fig13a,
+    "fig13b": fig13.run_fig13b,
+    "fig13c": fig13.run_fig13c,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+}

@@ -1,0 +1,44 @@
+"""CLI: regenerate paper tables/figures from the command line.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig9
+    python -m repro.experiments fig12a fig12c
+    python -m repro.experiments all
+
+Scale with ``REPRO_N`` / ``REPRO_QUICK=1`` (see experiments.common).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    targets = list(ALL_EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in targets:
+        t0 = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        print(f"== {name} ({time.time() - t0:.1f}s) ==")
+        print(result.table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,208 @@
+"""Shared experiment plumbing: configs, run helpers, workload sets.
+
+Every figure/table module builds on these helpers so the benches stay
+declarative.  Scale knobs come from the environment:
+
+* ``REPRO_N`` - accesses per trace (default 60000; tests use less).
+* ``REPRO_QUICK`` - set to 1 to shrink every experiment to a handful of
+  representative workloads and fewer mixes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.streamline import StreamlinePrefetcher
+from ..prefetchers.berti import BertiPrefetcher
+from ..prefetchers.stride import StridePrefetcher
+from ..prefetchers.triage import IdealTriage
+from ..prefetchers.triangel import TriangelPrefetcher
+from ..sim.config import SystemConfig
+from ..sim.engine import run_single
+from ..sim.multicore import run_multicore
+from ..sim.stats import SimResult, format_table, geomean
+from ..sim.trace import Trace
+from ..workloads import generate_mixes, make, names, suite, suite_of
+
+#: The experiments run on a 1/4-scale hierarchy (see DESIGN.md §4).
+SCALE_FACTOR = 4
+
+#: A representative subset for quick runs: two chases, one scan-mix, one
+#: graph, one stream, one hash.
+QUICK_SET = ["06.omnetpp", "17.xalancbmk", "06.mcf", "gap.pr", "06.lbm",
+             "06.sphinx3"]
+
+#: Short-period temporal workloads for component microbenchmarks
+#: (stream-length / buffer / replacement sweeps): each repeats its
+#: irregular sequence several times within ~50K accesses.
+COMPONENT_SET = ["gap.pr", "gap.cc", "gap.bfs", "06.omnetpp"]
+
+
+def env_n(default: int = 60_000) -> int:
+    return int(os.environ.get("REPRO_N", default))
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def experiment_config(num_cores: int = 1, **overrides) -> SystemConfig:
+    """The scaled-down Table II system."""
+    cfg = SystemConfig(num_cores=num_cores).scaled_down(SCALE_FACTOR)
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def workload_set(kind: str = "full") -> List[str]:
+    """"full", "quick", "component", or a suite name."""
+    if kind == "component":
+        return list(COMPONENT_SET)
+    if quick_mode() or kind == "quick":
+        return list(QUICK_SET)
+    if kind == "full":
+        return names()
+    return suite(kind)
+
+
+# -- run helpers ---------------------------------------------------------------
+
+def stride_l1() -> StridePrefetcher:
+    return StridePrefetcher()
+
+
+def berti_l1() -> BertiPrefetcher:
+    return BertiPrefetcher()
+
+
+PREFETCHER_FACTORIES: Dict[str, Callable] = {
+    "triangel": TriangelPrefetcher,
+    "streamline": StreamlinePrefetcher,
+}
+
+
+@dataclass
+class SingleCoreRun:
+    """Baseline + per-prefetcher results for one workload."""
+
+    workload: str
+    baseline: SimResult
+    results: Dict[str, SimResult] = field(default_factory=dict)
+
+    def speedup(self, config: str) -> float:
+        return self.results[config].ipc / self.baseline.ipc
+
+
+def run_matrix(workloads: Sequence[str], n: int,
+               configs: Dict[str, Callable],
+               config: Optional[SystemConfig] = None,
+               l1_factory: Callable = stride_l1,
+               seed: int = 1234) -> List[SingleCoreRun]:
+    """Run baseline + each config on every workload (single core)."""
+    config = config or experiment_config()
+    out = []
+    for wl in workloads:
+        trace = make(wl, n, seed)
+        run = SingleCoreRun(
+            wl, run_single(trace, config, l1_prefetcher=l1_factory))
+        for name, factory in configs.items():
+            run.results[name] = run_single(
+                trace, config, l1_prefetcher=l1_factory,
+                l2_prefetchers=[factory])
+        out.append(run)
+    return out
+
+
+def suite_geomeans(runs: Sequence[SingleCoreRun], config: str
+                   ) -> Dict[str, float]:
+    """Geomean speedup per suite plus "all"."""
+    out: Dict[str, float] = {}
+    for s in ("spec06", "spec17", "gap"):
+        sub = [r for r in runs if suite_of(r.workload) == s]
+        if sub:
+            out[s] = geomean(r.speedup(config) for r in sub)
+    out["all"] = geomean(r.speedup(config) for r in runs)
+    return out
+
+
+def irregular_subset(workloads: Sequence[str], n: int,
+                     config: Optional[SystemConfig] = None,
+                     headroom: float = 0.05, seed: int = 1234
+                     ) -> List[str]:
+    """The paper's irregular subset: >=5% speedup headroom under an
+    idealized Triage with unlimited metadata (Section V-A3)."""
+    config = config or experiment_config()
+    subset = []
+    for wl in workloads:
+        trace = make(wl, n, seed)
+        base = run_single(trace, config, l1_prefetcher=stride_l1)
+        ideal = run_single(trace, config, l1_prefetcher=stride_l1,
+                           l2_prefetchers=[IdealTriage])
+        if ideal.ipc / base.ipc >= 1.0 + headroom:
+            subset.append(wl)
+    return subset
+
+
+# -- multicore helpers -----------------------------------------------------------
+
+def run_mixes(num_cores: int, mix_count: int, n_per_core: int,
+              configs: Dict[str, Callable],
+              pool: Optional[Sequence[str]] = None,
+              l1_factory: Callable = stride_l1,
+              seed: int = 7) -> Dict[str, List[float]]:
+    """Weighted-speedup of each config over the stride baseline, per mix.
+
+    Returns config name -> list of per-mix normalized weighted speedups.
+    Per-core isolated baseline runs are memoized across mixes.
+    """
+    mixes = generate_mixes(num_cores, mix_count, pool=pool, seed=seed)
+    config = experiment_config(num_cores=num_cores)
+    iso_config = experiment_config(num_cores=1)
+    singles: Dict[str, float] = {}
+
+    def isolated_ipc(wl: str) -> float:
+        if wl not in singles:
+            trace = make(wl, n_per_core)
+            singles[wl] = run_single(trace, iso_config,
+                                     l1_prefetcher=l1_factory).ipc
+        return singles[wl]
+
+    out: Dict[str, List[float]] = {name: [] for name in configs}
+    out["baseline"] = []
+    for mix in mixes:
+        traces = [make(wl, n_per_core) for wl in mix]
+        isolated = [isolated_ipc(wl) for wl in mix]
+        base = run_multicore(traces, config, l1_prefetcher=l1_factory)
+        base_ws = sum(c.ipc / i for c, i in zip(base.cores, isolated))
+        out["baseline"].append(base_ws)
+        for name, factory in configs.items():
+            res = run_multicore(traces, config, l1_prefetcher=l1_factory,
+                                l2_prefetchers=[factory])
+            ws = sum(c.ipc / i for c, i in zip(res.cores, isolated))
+            out[name].append(ws / base_ws)
+    return out
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result bundle every experiment returns."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def as_dict(self) -> Dict[str, List]:
+        return {"headers": self.headers, "rows": self.rows}
+
+
+def fmt(x: object, digits: int = 3) -> object:
+    if isinstance(x, float):
+        return round(x, digits)
+    return x

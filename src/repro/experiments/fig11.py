@@ -1,0 +1,131 @@
+"""Figure 11: interaction with aggressive regular prefetchers.
+
+* 11a - single-core with Berti in the L1D: Streamline still beats both
+  Triangel and Berti-alone (paper: 22% vs 20.1% vs 19.1%).
+* 11b - multi-core with Berti: Triangel's benefit evaporates while
+  Streamline keeps a 3.8-4.1 pp margin.
+* 11c - with L2 regular prefetchers (IPCP / Bingo / SPP-PPF) alongside
+  the temporal prefetcher.
+* 11d - the added prefetch coverage over each regular baseline
+  (paper: Streamline adds about twice Triangel's).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..prefetchers.bingo import BingoPrefetcher
+from ..prefetchers.ipcp import IPCPPrefetcher
+from ..prefetchers.spp import SPPPrefetcher
+from ..sim.engine import run_single
+from ..sim.stats import geomean
+from ..workloads import make
+from .common import (PREFETCHER_FACTORIES, ExperimentResult, berti_l1,
+                     env_n, experiment_config, fmt, quick_mode,
+                     run_matrix, run_mixes, stride_l1, workload_set)
+
+L2_REGULARS: Dict[str, Callable] = {
+    "ipcp": IPCPPrefetcher,
+    "bingo": BingoPrefetcher,
+    "spp-ppf": SPPPrefetcher,
+}
+
+
+def run_fig11a(n: Optional[int] = None,
+               workloads: Optional[Sequence[str]] = None
+               ) -> ExperimentResult:
+    """Single-core, Berti L1D baseline."""
+    n = n or env_n()
+    workloads = list(workloads or workload_set("full"))
+    config = experiment_config()
+    rows = []
+    speedups = {"berti": [], "triangel": [], "streamline": []}
+    for wl in workloads:
+        trace = make(wl, n)
+        stride_base = run_single(trace, config, l1_prefetcher=stride_l1)
+        if stride_base.llc_mpki <= 1.0:
+            continue
+        berti_only = run_single(trace, config, l1_prefetcher=berti_l1)
+        row = [wl, fmt(berti_only.ipc / stride_base.ipc)]
+        speedups["berti"].append(berti_only.ipc / stride_base.ipc)
+        for name, factory in PREFETCHER_FACTORIES.items():
+            res = run_single(trace, config, l1_prefetcher=berti_l1,
+                             l2_prefetchers=[factory])
+            row.append(fmt(res.ipc / stride_base.ipc))
+            speedups[name].append(res.ipc / stride_base.ipc)
+        rows.append(row)
+    rows.append(["GEOMEAN", *(fmt(geomean(speedups[k]))
+                              for k in ("berti", "triangel",
+                                        "streamline"))])
+    notes = ("paper: streamline 1.22 > triangel 1.201 > berti 1.191 "
+             "(all over the stride baseline)")
+    return ExperimentResult("fig11a", ["workload", "berti",
+                                       "berti+triangel",
+                                       "berti+streamline"], rows, notes)
+
+
+def run_fig11b(n_per_core: Optional[int] = None,
+               mix_count: Optional[int] = None,
+               core_counts: Sequence[int] = (2, 4)) -> ExperimentResult:
+    """Multi-core with Berti in the L1D."""
+    n = n_per_core or env_n(50_000)
+    mixes = mix_count or (2 if quick_mode() else 3)
+    rows = []
+    for cores in core_counts:
+        per_mix = run_mixes(cores, mixes, n, PREFETCHER_FACTORIES,
+                            l1_factory=berti_l1)
+        tri = geomean(per_mix["triangel"])
+        sl = geomean(per_mix["streamline"])
+        rows.append([cores, fmt(tri), fmt(sl), fmt(sl - tri)])
+    notes = ("paper: with Berti, Triangel adds ~nothing multi-core while "
+             "Streamline keeps +3.8-4.1 pp")
+    return ExperimentResult("fig11b", ["cores", "triangel", "streamline",
+                                       "delta"], rows, notes)
+
+
+def run_fig11cd(n: Optional[int] = None,
+                workloads: Optional[Sequence[str]] = None
+                ) -> ExperimentResult:
+    """L2 regular prefetchers with and without a temporal prefetcher."""
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("quick"))
+    config = experiment_config()
+    rows = []
+    for reg_name, reg_factory in L2_REGULARS.items():
+        speedups = {"alone": [], "triangel": [], "streamline": []}
+        coverages = {"triangel": [], "streamline": []}
+        for wl in workloads:
+            trace = make(wl, n)
+            base = run_single(trace, config, l1_prefetcher=stride_l1)
+            alone = run_single(trace, config, l1_prefetcher=stride_l1,
+                               l2_prefetchers=[reg_factory])
+            speedups["alone"].append(alone.ipc / base.ipc)
+            for name, factory in PREFETCHER_FACTORIES.items():
+                res = run_single(
+                    trace, config, l1_prefetcher=stride_l1,
+                    l2_prefetchers=[reg_factory, factory])
+                speedups[name].append(res.ipc / base.ipc)
+                tp = res.temporal
+                coverages[name].append(tp.coverage if tp else 0.0)
+        rows.append([reg_name, fmt(geomean(speedups["alone"])),
+                     fmt(geomean(speedups["triangel"])),
+                     fmt(geomean(speedups["streamline"])),
+                     fmt(sum(coverages["triangel"])
+                         / len(coverages["triangel"])),
+                     fmt(sum(coverages["streamline"])
+                         / len(coverages["streamline"]))])
+    notes = ("paper: streamline beats triangel by 1.1/2.4/1.0 pp over "
+             "IPCP/Bingo/SPP-PPF and adds ~2x the coverage (fig 11d)")
+    return ExperimentResult(
+        "fig11cd", ["l2_prefetcher", "alone", "+triangel", "+streamline",
+                    "tri_added_cov", "sl_added_cov"], rows, notes)
+
+
+def main() -> None:
+    for fn in (run_fig11a, run_fig11b, run_fig11cd):
+        print(fn().table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

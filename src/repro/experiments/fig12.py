@@ -1,0 +1,153 @@
+"""Figure 12: resolving the stream-format's own problems.
+
+* 12a - stream-length sweep: correlations/block, store hit rate (the
+  missed-trigger proxy), coverage, and speedup.  The paper finds length
+  4 the inflection point: 16 correlations/block with a stable
+  missed-trigger rate, peaking coverage.
+* 12b - metadata redundancy with and without stream alignment (paper:
+  alignment halves redundancy; ~31% of what remains is benign).
+* 12c - metadata-buffer size sweep: alignment rate and coverage (paper:
+  3 entries align 67% and saturate coverage).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.redundancy import measure
+from ..core.stream_entry import ENTRIES_PER_BLOCK, correlations_per_block
+from ..core.streamline import StreamlinePrefetcher
+from ..sim.engine import run_single
+from ..sim.stats import geomean
+from ..workloads import make
+from .common import (ExperimentResult, env_n, experiment_config, fmt,
+                     stride_l1, workload_set)
+
+
+def run_fig12a(n: Optional[int] = None,
+               lengths: Sequence[int] = (2, 3, 4, 5, 8, 16),
+               workloads: Optional[Sequence[str]] = None
+               ) -> ExperimentResult:
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("component"))
+    config = experiment_config()
+    rows = []
+    for length in lengths:
+        if length not in ENTRIES_PER_BLOCK:
+            continue
+        speedups: List[float] = []
+        coverages: List[float] = []
+        hit_rates: List[float] = []
+        for wl in workloads:
+            trace = make(wl, n)
+            base = run_single(trace, config, l1_prefetcher=stride_l1)
+            holder = {}
+
+            def factory():
+                pf = StreamlinePrefetcher(stream_length=length)
+                holder["pf"] = pf
+                return pf
+
+            res = run_single(trace, config, l1_prefetcher=stride_l1,
+                             l2_prefetchers=[factory])
+            speedups.append(res.ipc / base.ipc)
+            tp = res.temporal
+            coverages.append(tp.coverage if tp else 0.0)
+            stats = holder["pf"].store.stats
+            hit_rates.append(stats.hits / stats.lookups
+                             if stats.lookups else 0.0)
+        rows.append([length, correlations_per_block(length),
+                     fmt(sum(hit_rates) / len(hit_rates)),
+                     fmt(sum(coverages) / len(coverages)),
+                     fmt(geomean(speedups))])
+    notes = ("paper: length 4 peaks coverage (31.5%); longer streams "
+             "miss too many triggers (hit rate drops), shorter ones "
+             "waste capacity")
+    return ExperimentResult(
+        "fig12a", ["stream_len", "corr_per_block", "trigger_hit_rate",
+                   "coverage", "speedup"], rows, notes)
+
+
+def run_fig12b(n: Optional[int] = None,
+               sizes: Sequence[int] = (1, 2, 4),
+               workloads: Optional[Sequence[str]] = None
+               ) -> ExperimentResult:
+    """Redundancy vs. store size, +- stream alignment."""
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("component"))
+    config = experiment_config()
+    rows = []
+    for every_nth in sizes:
+        for aligned in (True, False):
+            rates: List[float] = []
+            benign: List[float] = []
+            for wl in workloads:
+                trace = make(wl, n)
+                holder = {}
+
+                def factory():
+                    pf = StreamlinePrefetcher(
+                        stream_alignment=aligned, dynamic=False,
+                        initial_every_nth=every_nth)
+                    holder["pf"] = pf
+                    return pf
+
+                run_single(trace, config, l1_prefetcher=stride_l1,
+                           l2_prefetchers=[factory])
+                report = measure(holder["pf"].store)
+                rates.append(report.redundancy_rate)
+                benign.append(report.benign_fraction)
+            rows.append([f"1/{every_nth}",
+                         "align" if aligned else "no-align",
+                         fmt(sum(rates) / len(rates)),
+                         fmt(sum(benign) / len(benign))])
+    notes = ("paper: stream alignment halves redundancy; ~31% of "
+             "remaining redundancy is benign (context-disambiguating)")
+    return ExperimentResult("fig12b", ["store_size", "alignment",
+                                       "redundancy_rate",
+                                       "benign_fraction"], rows, notes)
+
+
+def run_fig12c(n: Optional[int] = None,
+               buffer_sizes: Sequence[int] = (1, 2, 3, 4, 6, 8),
+               workloads: Optional[Sequence[str]] = None
+               ) -> ExperimentResult:
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("component"))
+    config = experiment_config()
+    rows = []
+    for size in buffer_sizes:
+        align_rates: List[float] = []
+        coverages: List[float] = []
+        for wl in workloads:
+            trace = make(wl, n)
+            holder = {}
+
+            def factory():
+                pf = StreamlinePrefetcher(buffer_size=size)
+                holder["pf"] = pf
+                return pf
+
+            res = run_single(trace, config, l1_prefetcher=stride_l1,
+                             l2_prefetchers=[factory])
+            pf = holder["pf"]
+            completed = max(1, pf.completed_streams)
+            align_rates.append(pf.alignments / completed)
+            tp = res.temporal
+            coverages.append(tp.coverage if tp else 0.0)
+        rows.append([size, fmt(sum(align_rates) / len(align_rates)),
+                     fmt(sum(coverages) / len(coverages))])
+    notes = ("paper: a 3-entry buffer reaches the alignment-rate knee; "
+             "bigger buffers add overhead without coverage")
+    return ExperimentResult("fig12c", ["buffer_entries", "alignment_rate",
+                                       "coverage"], rows, notes)
+
+
+def main() -> None:
+    for fn in (run_fig12a, run_fig12b, run_fig12c):
+        print(fn().table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 15: mitigating filtering's coverage loss at small partitions.
+
+At a quarter-size partition (where filtered indexing drops 3/4 of
+triggers) the paper compares: unfiltered (rearranged-indexing) as the
+ceiling, plain filtering as the floor, realignment (recovers 72-79% of
+the loss), skewed indexing (recovers ~all), and hybrid set+way
+partitioning (beats even the unfiltered cache by relieving pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.streamline import StreamlinePrefetcher
+from ..sim.engine import run_single
+from ..sim.stats import geomean
+from ..workloads import make
+from .common import (ExperimentResult, env_n, experiment_config, fmt,
+                     stride_l1, workload_set)
+
+
+def _variants(every_nth: int) -> Dict[str, Callable]:
+    common = dict(dynamic=False, initial_every_nth=every_nth)
+    return {
+        "unfiltered (RTS)": lambda: StreamlinePrefetcher(
+            indexing="rearranged", realignment=False, **common),
+        "filtered, no realign": lambda: StreamlinePrefetcher(
+            realignment=False, **common),
+        "filtered + realign": lambda: StreamlinePrefetcher(**common),
+        "filtered + skewed": lambda: StreamlinePrefetcher(
+            skewed=True, **common),
+        "hybrid (sets/2, ways/2)": lambda: StreamlinePrefetcher(
+            dynamic=False, initial_every_nth=max(1, every_nth // 2),
+            meta_ways=4),
+    }
+
+
+def run(n: Optional[int] = None, every_nth: int = 4,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("component"))
+    config = experiment_config()
+    rows = []
+    results: Dict[str, float] = {}
+    for name, factory in _variants(every_nth).items():
+        speedups, coverages = [], []
+        for wl in workloads:
+            trace = make(wl, n)
+            base = run_single(trace, config, l1_prefetcher=stride_l1)
+            res = run_single(trace, config, l1_prefetcher=stride_l1,
+                             l2_prefetchers=[factory])
+            speedups.append(res.ipc / base.ipc)
+            tp = res.temporal
+            coverages.append(tp.coverage if tp else 0.0)
+        g = geomean(speedups)
+        results[name] = g
+        rows.append([name, fmt(sum(coverages) / len(coverages)), fmt(g)])
+    ceiling = results["unfiltered (RTS)"]
+    floor = results["filtered, no realign"]
+    realign = results["filtered + realign"]
+    recovered = ((realign - floor) / (ceiling - floor)
+                 if ceiling > floor else 1.0)
+    notes = (f"realignment recovers {recovered:.0%} of the filtering "
+             f"loss (paper: 72-79%); paper also finds hybrid can beat "
+             f"unfiltered by reducing pressure")
+    return ExperimentResult("fig15", ["variant", "coverage", "speedup"],
+                            rows, notes)
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Memory-hierarchy substrate: caches, DRAM, replacement, partitioning."""
+
+from .address import BLOCK_SIZE, addr_of, block_of, fold_hash, hash32
+from .cache import AccessResult, Cache, CacheStats, Line
+from .dram import DRAM, DRAMStats
+from .hierarchy import CoreHierarchy, SharedUncore
+from .metadata_store import MetadataTraffic, PartitionController
+from .replacement import (HawkeyeLitePolicy, LRUPolicy, RandomPolicy,
+                          ReplacementPolicy, SRRIPPolicy, make_policy)
+
+__all__ = [
+    "BLOCK_SIZE", "addr_of", "block_of", "fold_hash", "hash32",
+    "AccessResult", "Cache", "CacheStats", "Line",
+    "DRAM", "DRAMStats",
+    "CoreHierarchy", "SharedUncore",
+    "MetadataTraffic", "PartitionController",
+    "HawkeyeLitePolicy", "LRUPolicy", "RandomPolicy", "ReplacementPolicy",
+    "SRRIPPolicy", "make_policy",
+]

@@ -1,0 +1,70 @@
+"""Address arithmetic shared by every cache-like structure.
+
+All caches in this repository operate on 64-byte blocks.  Physical
+addresses are plain Python ints; *block addresses* are addresses with the
+6 offset bits shifted away.  Keeping the two spaces explicit (``addr`` vs
+``blk``) avoids an entire class of off-by-shift bugs, so every public
+function says which space it expects.
+"""
+
+from __future__ import annotations
+
+BLOCK_SHIFT = 6
+BLOCK_SIZE = 1 << BLOCK_SHIFT  # 64 bytes
+
+
+def block_of(addr: int) -> int:
+    """Return the block address (address space -> block space)."""
+    return addr >> BLOCK_SHIFT
+
+
+def addr_of(blk: int) -> int:
+    """Return the first byte address of a block (block space -> address space)."""
+    return blk << BLOCK_SHIFT
+
+
+def set_index(blk: int, num_sets: int) -> int:
+    """Set index of a block address for a cache with ``num_sets`` sets.
+
+    ``num_sets`` must be a power of two; the low bits of the block address
+    select the set, as in real hardware.
+    """
+    return blk & (num_sets - 1)
+
+
+def tag_of(blk: int, num_sets: int) -> int:
+    """Tag bits of a block address for a cache with ``num_sets`` sets."""
+    return blk >> num_sets.bit_length() - 1 if num_sets > 1 else blk
+
+
+def is_pow2(n: int) -> bool:
+    """True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2(n: int) -> int:
+    """Exact integer log2; raises ``ValueError`` on non powers of two."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def hash32(x: int) -> int:
+    """Cheap deterministic 32-bit integer hash (xorshift-multiply).
+
+    Used wherever the paper says "hashed" (hashed trigger addresses,
+    hashed PCs, index hashing).  Deterministic across runs and platforms.
+    """
+    x &= 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x7FEB352D) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x846CA68B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+def fold_hash(x: int, bits: int) -> int:
+    """Fold ``hash32(x)`` down to ``bits`` bits (e.g. 10-bit hashed triggers)."""
+    h = hash32(x)
+    return (h ^ (h >> bits)) & ((1 << bits) - 1)

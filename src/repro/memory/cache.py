@@ -1,0 +1,251 @@
+"""A set-associative cache with pluggable replacement and way partitioning.
+
+This is the building block for the whole hierarchy (L1I/L1D/L2/LLC).  Two
+features exist specifically for on-chip temporal prefetching:
+
+* **Way partitioning** - the LLC can cede a per-set number of ways to a
+  metadata store.  ``set_data_ways`` shrinks/grows the data partition of a
+  set; shrinking invalidates the lines in the ceded ways (counted as
+  partition writebacks, which is the data-movement cost the paper
+  discusses).
+* **Prefetch tracking** - lines remember whether they were filled by a
+  prefetch and when the fill completes, so demand accesses to in-flight
+  prefetches pay the *remaining* latency (late-prefetch timeliness) and
+  the first demand hit to a prefetched line is counted as a useful
+  prefetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .address import BLOCK_SIZE, is_pow2
+from .replacement import make_policy
+
+
+class Line:
+    """One cache line's bookkeeping (tags only; no data payload)."""
+
+    __slots__ = ("blk", "valid", "dirty", "prefetched", "pf_touched",
+                 "ready", "pc", "owner")
+
+    def __init__(self) -> None:
+        self.blk = -1
+        self.valid = False
+        self.dirty = False
+        self.prefetched = False   # filled by a prefetch
+        self.pf_touched = False   # prefetch already credited as useful
+        self.ready = 0.0          # cycle at which the fill completes
+        self.pc = 0
+        self.owner = -1           # prefetcher id that issued the fill
+
+    def reset(self) -> None:
+        self.blk = -1
+        self.valid = False
+        self.dirty = False
+        self.prefetched = False
+        self.pf_touched = False
+        self.ready = 0.0
+        self.pc = 0
+        self.owner = -1
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    late_prefetch_hits: int = 0
+    partition_invalidations: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache lookup."""
+
+    hit: bool
+    latency: float
+    was_prefetched: bool = False   # first demand touch of a prefetched line
+    owner: int = -1                # prefetcher that brought the line in
+    evicted_blk: Optional[int] = None
+
+
+class Cache:
+    """Set-associative cache.
+
+    Parameters
+    ----------
+    name:
+        Label used in stats dumps ("L1D", "L2", "LLC", ...).
+    size_bytes / ways:
+        Geometry; ``size_bytes / (64 * ways)`` must be a power of two.
+    latency:
+        Hit latency in cycles, charged by the hierarchy.
+    replacement:
+        Policy name understood by :func:`repro.memory.replacement.make_policy`.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, latency: int,
+                 replacement: str = "lru"):
+        num_sets = size_bytes // (BLOCK_SIZE * ways)
+        if num_sets == 0 or not is_pow2(num_sets):
+            raise ValueError(
+                f"{name}: size {size_bytes}B / {ways} ways gives "
+                f"{num_sets} sets (must be a power of two)")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.num_sets = num_sets
+        self.latency = latency
+        self.policy = make_policy(replacement, num_sets, ways)
+        self.lines: List[List[Line]] = [
+            [Line() for _ in range(ways)] for _ in range(num_sets)]
+        self._data_ways: List[int] = [ways] * num_sets
+        self.stats = CacheStats()
+
+    # -- geometry ---------------------------------------------------------
+
+    def set_of(self, blk: int) -> int:
+        return blk & (self.num_sets - 1)
+
+    def data_ways(self, set_idx: int) -> int:
+        """Number of ways currently available to data in this set."""
+        return self._data_ways[set_idx]
+
+    def set_data_ways(self, set_idx: int, ways: int) -> int:
+        """Resize the data partition of one set; returns lines invalidated."""
+        if not 0 <= ways <= self.ways:
+            raise ValueError(f"data ways {ways} out of range 0..{self.ways}")
+        old = self._data_ways[set_idx]
+        self._data_ways[set_idx] = ways
+        dropped = 0
+        if ways < old:
+            for w in range(ways, old):
+                line = self.lines[set_idx][w]
+                if line.valid:
+                    line.reset()
+                    dropped += 1
+        self.stats.partition_invalidations += dropped
+        return dropped
+
+    # -- operations -------------------------------------------------------
+
+    def probe(self, blk: int) -> bool:
+        """Tag check with no side effects."""
+        set_idx = self.set_of(blk)
+        nd = self._data_ways[set_idx]
+        return any(l.valid and l.blk == blk for l in self.lines[set_idx][:nd])
+
+    def lookup(self, blk: int, now: float, is_write: bool = False,
+               touch: bool = True) -> AccessResult:
+        """Demand lookup.  Does *not* fill on miss (hierarchy does that)."""
+        self.stats.accesses += 1
+        set_idx = self.set_of(blk)
+        nd = self._data_ways[set_idx]
+        row = self.lines[set_idx]
+        for way in range(nd):
+            line = row[way]
+            if line.valid and line.blk == blk:
+                self.stats.hits += 1
+                if touch:
+                    self.policy.on_hit(set_idx, way)
+                if is_write:
+                    line.dirty = True
+                extra = max(0.0, line.ready - now)
+                was_pf = False
+                if line.prefetched and not line.pf_touched:
+                    line.pf_touched = True
+                    was_pf = True
+                    self.stats.useful_prefetches += 1
+                    if extra > 0:
+                        self.stats.late_prefetch_hits += 1
+                return AccessResult(True, self.latency + extra, was_pf,
+                                    owner=line.owner)
+        self.stats.misses += 1
+        return AccessResult(False, self.latency)
+
+    def fill(self, blk: int, ready: float, pc: int = 0,
+             prefetch: bool = False, dirty: bool = False,
+             owner: int = -1) -> Optional[Line]:
+        """Install ``blk``; returns the evicted line (a copy) if any.
+
+        ``ready`` is the cycle at which the data actually arrives; demand
+        hits before then pay the difference.
+        """
+        set_idx = self.set_of(blk)
+        nd = self._data_ways[set_idx]
+        if nd == 0:
+            return None  # set fully ceded to metadata; bypass
+        row = self.lines[set_idx]
+        way = None
+        for w in range(nd):
+            line = row[w]
+            if line.valid and line.blk == blk:  # refill/upgrade in place
+                way = w
+                break
+        evicted = None
+        if way is None:
+            for w in range(nd):
+                if not row[w].valid:
+                    way = w
+                    break
+        if way is None:
+            way = self.policy.victim(set_idx, range(nd))
+            victim_line = row[way]
+            if victim_line.valid:
+                evicted = Line()
+                evicted.blk = victim_line.blk
+                evicted.valid = True
+                evicted.dirty = victim_line.dirty
+                evicted.prefetched = victim_line.prefetched
+                evicted.pf_touched = victim_line.pf_touched
+                evicted.pc = victim_line.pc
+                evicted.owner = victim_line.owner
+                self.stats.evictions += 1
+                if victim_line.dirty:
+                    self.stats.writebacks += 1
+        line = row[way]
+        line.blk = blk
+        line.valid = True
+        line.dirty = dirty
+        line.prefetched = prefetch
+        line.pf_touched = False
+        line.ready = ready
+        line.pc = pc
+        line.owner = owner
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        self.policy.on_fill(set_idx, way, blk, pc)
+        return evicted
+
+    def invalidate(self, blk: int) -> bool:
+        """Drop a block if present (used by multi-core coherence shootdowns)."""
+        set_idx = self.set_of(blk)
+        for line in self.lines[set_idx]:
+            if line.valid and line.blk == blk:
+                line.reset()
+                return True
+        return False
+
+    def occupancy(self) -> float:
+        """Fraction of data-partition lines currently valid."""
+        total = valid = 0
+        for set_idx in range(self.num_sets):
+            nd = self._data_ways[set_idx]
+            total += nd
+            valid += sum(1 for l in self.lines[set_idx][:nd] if l.valid)
+        return valid / total if total else 0.0

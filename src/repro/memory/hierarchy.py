@@ -1,0 +1,241 @@
+"""Three-level memory hierarchy with prefetcher attachment points.
+
+One :class:`CoreHierarchy` per core (private L1D + L2); the LLC, its
+single R/W port, and DRAM are shared across cores via :class:`SharedUncore`.
+
+The flow per demand access matches the paper's setup:
+
+* L1D prefetchers (IP-stride, Berti) observe every L1D access and
+  prefetch into the L1D.
+* L2-level prefetchers observe L2 traffic.  Temporal prefetchers
+  (Triage/Triangel/Streamline) train **on L2 misses and on L2 hits to
+  prefetched lines** and prefetch into the L2 at max degree 4; regular L2
+  prefetchers (IPCP/Bingo/SPP-PPF) train on all L2 accesses.
+* Temporal metadata lives in an LLC partition; metadata reads/writes go
+  through the shared LLC port (modelled with a busy-until clock) and are
+  charged to the owning prefetcher's :class:`PartitionController`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..prefetchers.base import Prefetcher, PrefetcherStats
+from .address import block_of
+from .cache import Cache, CacheStats
+from .dram import DRAM
+
+
+class SharedUncore:
+    """Shared LLC + port + DRAM, plus the global prefetcher registry."""
+
+    def __init__(self, llc: Cache, dram: DRAM, port_occupancy: float = 1.0,
+                 num_cores: int = 1):
+        self.llc = llc
+        self.dram = dram
+        self.port_occupancy = port_occupancy
+        self.num_cores = num_cores
+        self._port_free = 0.0
+        self.prefetchers: Dict[int, Prefetcher] = {}
+        self._next_owner = 0
+        self.demand_llc_accesses = 0
+        self.metadata_llc_accesses = 0
+        # LLC-side observers (dynamic partitioners duel at the LLC, so
+        # they see *every* core's demand traffic, as in hardware).
+        self.llc_observers: List = []
+
+    def register(self, pf: Prefetcher) -> int:
+        owner = self._next_owner
+        self._next_owner += 1
+        pf.owner_id = owner
+        self.prefetchers[owner] = pf
+        return owner
+
+    def port_delay(self, now: float) -> float:
+        """Queue on the single LLC port; returns the queueing delay."""
+        delay = max(0.0, self._port_free - now)
+        self._port_free = max(now, self._port_free) + self.port_occupancy
+        return delay
+
+    def credit_useful(self, owner: int, blk: int, now: float) -> None:
+        pf = self.prefetchers.get(owner)
+        if pf is not None:
+            pf.note_useful(blk, now)
+
+    def credit_useless(self, owner: int, blk: int, now: float) -> None:
+        pf = self.prefetchers.get(owner)
+        if pf is not None:
+            pf.note_useless(blk, now)
+
+    def reset_stats(self) -> None:
+        self.llc.stats = CacheStats()
+        self.dram.stats = type(self.dram.stats)()
+        self.demand_llc_accesses = 0
+        self.metadata_llc_accesses = 0
+
+
+class CoreHierarchy:
+    """One core's private caches plus its view of the shared uncore."""
+
+    def __init__(self, core_id: int, l1d: Cache, l2: Cache,
+                 uncore: SharedUncore):
+        self.core_id = core_id
+        self.l1d = l1d
+        self.l2 = l2
+        self.uncore = uncore
+        self.l1_prefetcher: Optional[Prefetcher] = None
+        self.l2_prefetchers: List[Prefetcher] = []
+        # Demand L2 misses that had to go below (the "uncovered" count in
+        # the coverage metric).
+        self.uncovered_misses = 0
+        self.demand_accesses = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_l1_prefetcher(self, pf: Prefetcher) -> None:
+        self.uncore.register(pf)
+        pf.hier = self
+        self.l1_prefetcher = pf
+        pf.attach(self)
+
+    def attach_l2_prefetcher(self, pf: Prefetcher) -> None:
+        self.uncore.register(pf)
+        pf.hier = self
+        self.l2_prefetchers.append(pf)
+        pf.attach(self)
+
+    # -- lower-level path -----------------------------------------------------
+
+    def _below_l2(self, blk: int, now: float, pc: int,
+                  is_prefetch: bool) -> float:
+        """Access LLC (and DRAM on miss); fills the LLC; returns latency."""
+        uncore = self.uncore
+        delay = uncore.port_delay(now)
+        uncore.demand_llc_accesses += 1
+        if not is_prefetch:
+            for observer in uncore.llc_observers:
+                observer(blk)
+        res = uncore.llc.lookup(blk, now + delay)
+        lat = delay + res.latency
+        if res.hit:
+            return lat
+        dram_lat = uncore.dram.access(blk, now + lat, is_prefetch=is_prefetch)
+        lat += dram_lat
+        evicted = uncore.llc.fill(blk, now + lat, pc)
+        if evicted is not None and evicted.dirty:
+            uncore.dram.access(evicted.blk, now + lat, is_write=True)
+        return lat
+
+    def _fill_l2(self, blk: int, ready: float, pc: int,
+                 prefetch: bool = False, owner: int = -1) -> None:
+        evicted = self.l2.fill(blk, ready, pc, prefetch=prefetch, owner=owner)
+        if evicted is None:
+            return
+        if evicted.prefetched and not evicted.pf_touched:
+            self.uncore.credit_useless(evicted.owner, evicted.blk, ready)
+        if evicted.dirty:
+            # Write back into the LLC (port + fill; off critical path).
+            now = ready
+            self.uncore.port_delay(now)
+            wb_evicted = self.uncore.llc.fill(evicted.blk, now, evicted.pc,
+                                              dirty=True)
+            if wb_evicted is not None and wb_evicted.dirty:
+                self.uncore.dram.access(wb_evicted.blk, now, is_write=True)
+
+    def _fill_l1(self, blk: int, ready: float, pc: int,
+                 prefetch: bool = False, owner: int = -1) -> None:
+        evicted = self.l1d.fill(blk, ready, pc, prefetch=prefetch,
+                                owner=owner)
+        if evicted is None:
+            return
+        if evicted.prefetched and not evicted.pf_touched:
+            self.uncore.credit_useless(evicted.owner, evicted.blk, ready)
+        if evicted.dirty:
+            self.l2.fill(evicted.blk, ready, evicted.pc, dirty=True)
+
+    # -- prefetch issue ---------------------------------------------------------
+
+    def issue_prefetch(self, blk: int, pc: int, now: float, owner: int,
+                       target: str = "l2") -> bool:
+        """Fetch ``blk`` into ``target`` on behalf of prefetcher ``owner``.
+
+        Returns False (and counts a drop) if the block is already cached
+        at or above the target level.
+        """
+        pf = self.uncore.prefetchers[owner]
+        if target == "l1d":
+            if self.l1d.probe(blk):
+                pf.stats.dropped += 1
+                return False
+            if self.l2.probe(blk):
+                lat = self.l2.latency
+            else:
+                lat = self.l2.latency + self._below_l2(blk, now, pc, True)
+                self._fill_l2(blk, now + lat, pc)  # fill on the way up
+            self._fill_l1(blk, now + lat, pc, prefetch=True, owner=owner)
+        else:
+            if self.l2.probe(blk):
+                pf.stats.dropped += 1
+                return False
+            lat = self._below_l2(blk, now, pc, True)
+            self._fill_l2(blk, now + lat, pc, prefetch=True, owner=owner)
+        pf.stats.issued += 1
+        return True
+
+    # -- temporal metadata path --------------------------------------------------
+
+    def metadata_access(self, now: float, is_write: bool = False) -> float:
+        """One metadata block access through the shared LLC port."""
+        self.uncore.metadata_llc_accesses += 1
+        delay = self.uncore.port_delay(now)
+        return delay + self.uncore.llc.latency
+
+    # -- the demand path ---------------------------------------------------------
+
+    def access(self, pc: int, addr: int, is_write: bool,
+               now: float) -> float:
+        """One demand access; returns its load-to-use latency in cycles."""
+        blk = block_of(addr)
+        self.demand_accesses += 1
+        r1 = self.l1d.lookup(blk, now, is_write)
+        if self.l1_prefetcher is not None:
+            for cand in self.l1_prefetcher.train(
+                    pc, blk, r1.hit, r1.was_prefetched, now):
+                self.issue_prefetch(cand, pc, now,
+                                    self.l1_prefetcher.owner_id, "l1d")
+        if r1.hit:
+            if r1.was_prefetched:
+                self.uncore.credit_useful(r1.owner, blk, now)
+            return r1.latency
+
+        lat = self.l1d.latency
+        r2 = self.l2.lookup(blk, now + lat)
+        if r2.hit:
+            lat += r2.latency
+            if r2.was_prefetched:
+                self.uncore.credit_useful(r2.owner, blk, now)
+        else:
+            lat += self.l2.latency
+            self.uncovered_misses += 1
+            lat += self._below_l2(blk, now + lat, pc, False)
+            self._fill_l2(blk, now + lat, pc)
+        self._fill_l1(blk, now + lat, pc)
+
+        # L2-level prefetcher training.
+        for pf in self.l2_prefetchers:
+            temporal_event = (not r2.hit) or r2.was_prefetched
+            if getattr(pf, "train_on_all_l2", False) or temporal_event:
+                for cand in pf.train(pc, blk, r2.hit, r2.was_prefetched, now):
+                    self.issue_prefetch(cand, pc, now, pf.owner_id, "l2")
+        return lat
+
+    # -- stats ----------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.l1d.stats = CacheStats()
+        self.l2.stats = CacheStats()
+        self.uncovered_misses = 0
+        self.demand_accesses = 0
+        for pf in list(self.l2_prefetchers) + (
+                [self.l1_prefetcher] if self.l1_prefetcher else []):
+            pf.stats = PrefetcherStats()

@@ -1,0 +1,15 @@
+"""Prefetchers: the paper's baselines plus the shared interfaces."""
+
+from .base import NullPrefetcher, Prefetcher, PrefetcherStats
+from .berti import BertiPrefetcher
+from .bingo import BingoPrefetcher
+from .ipcp import IPCPPrefetcher
+from .spp import SPPPrefetcher
+from .stride import StridePrefetcher
+from .triage import IdealTriage, TriagePrefetcher
+from .triangel import TriangelPrefetcher
+
+__all__ = ["NullPrefetcher", "Prefetcher", "PrefetcherStats",
+           "BertiPrefetcher", "BingoPrefetcher", "IPCPPrefetcher",
+           "SPPPrefetcher", "StridePrefetcher", "IdealTriage",
+           "TriagePrefetcher", "TriangelPrefetcher"]

@@ -1,0 +1,87 @@
+"""Common prefetcher interface.
+
+Two attachment points exist in the hierarchy, matching the paper's setup:
+
+* ``level == "l1d"`` - trained on every L1D access, prefetches into L1D
+  (the IP-stride and Berti baselines).
+* ``level == "l2"``  - trained on L2 demand misses *and* L2 hits to
+  prefetched lines ("prefetch hits"), prefetches into the L2 (Triage,
+  Triangel, Streamline, and the regular L2 baselines).
+
+A prefetcher's :meth:`train` returns the list of block addresses it wants
+prefetched *this access*; the hierarchy issues them, tags the fills with
+the prefetcher's ``owner_id``, and reports usefulness back through
+:meth:`note_useful` / :meth:`note_useless` so online accuracy feedback
+(Streamline's utility-aware partitioner, Triangel's samplers) can work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue/usefulness counters for one prefetcher."""
+
+    issued: int = 0
+    useful: int = 0
+    useless_evictions: int = 0
+    dropped: int = 0          # candidate was already cached / MSHR-suppressed
+
+    @property
+    def accuracy(self) -> float:
+        """Useful fraction of issued prefetches (resolved ones only)."""
+        resolved = self.useful + self.useless_evictions
+        if resolved == 0:
+            return 0.0
+        return self.useful / resolved
+
+    def coverage(self, uncovered_misses: int) -> float:
+        """Fraction of would-be demand misses covered by this prefetcher."""
+        denom = self.useful + uncovered_misses
+        return self.useful / denom if denom else 0.0
+
+
+class Prefetcher:
+    """Base class; subclasses override :meth:`train`."""
+
+    name = "none"
+    level = "l2"
+
+    def __init__(self) -> None:
+        self.stats = PrefetcherStats()
+        self.owner_id = -1      # assigned by the hierarchy at attach time
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        """Observe one access; return block addresses to prefetch."""
+        raise NotImplementedError
+
+    # -- usefulness feedback (hierarchy-driven) ---------------------------
+
+    def note_useful(self, blk: int, now: float) -> None:
+        self.stats.useful += 1
+
+    def note_useless(self, blk: int, now: float) -> None:
+        self.stats.useless_evictions += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, hierarchy) -> None:
+        """Called once when wired into a hierarchy; override to grab the
+        LLC / partition controller."""
+
+    def finalize(self, now: float) -> None:
+        """Called at end of simulation (flush epoch state into stats)."""
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching; the baseline denominator for every speedup."""
+
+    name = "none"
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        return []

@@ -1,0 +1,77 @@
+"""Berti [Navarro-Torres+ MICRO'22]: local-delta L1D prefetching.
+
+Berti's idea is to learn, per load PC, the set of *timely* local deltas:
+deltas between a load's current address and its recent history that,
+had they been prefetched, would have arrived before the demand access.
+We keep the essence — per-PC history, delta scoring by coverage and
+timeliness, multiple simultaneous deltas — and simplify the timing test
+to "the delta source occurred at least ``timely_distance`` accesses
+ago" (a trace-driven proxy for the IPC-based latency test).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from typing import Dict, List, Tuple
+
+from .base import Prefetcher
+
+
+class _BertiEntry:
+    __slots__ = ("history", "scores", "best", "accesses")
+
+    def __init__(self) -> None:
+        self.history: List[Tuple[int, int]] = []  # (index, blk)
+        self.scores: Dict[int, int] = defaultdict(int)
+        self.best: List[int] = []
+        self.accesses = 0
+
+
+class BertiPrefetcher(Prefetcher):
+    """Simplified Berti at the L1D."""
+
+    name = "berti"
+    level = "l1d"
+
+    def __init__(self, history: int = 16, max_deltas: int = 3,
+                 epoch: int = 256, min_score: int = 30,
+                 timely_distance: int = 4, table_size: int = 128):
+        super().__init__()
+        self.history = history
+        self.max_deltas = max_deltas
+        self.epoch = epoch
+        self.min_score = min_score
+        self.timely_distance = timely_distance
+        self.table_size = table_size
+        self._table: "OrderedDict[int, _BertiEntry]" = OrderedDict()
+
+    def _entry(self, pc: int) -> _BertiEntry:
+        e = self._table.get(pc)
+        if e is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            e = _BertiEntry()
+            self._table[pc] = e
+        else:
+            self._table.move_to_end(pc)
+        return e
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        e = self._entry(pc)
+        e.accesses += 1
+        # Score every timely delta that would have predicted this access.
+        for age, (idx, old_blk) in enumerate(reversed(e.history)):
+            delta = blk - old_blk
+            if delta == 0 or abs(delta) > 512:
+                continue
+            if age + 1 >= self.timely_distance:
+                e.scores[delta] += 1
+        e.history.append((e.accesses, blk))
+        del e.history[:-self.history]
+        if e.accesses % self.epoch == 0:
+            scored = sorted(e.scores.items(), key=lambda kv: -kv[1])
+            cutoff = self.min_score * self.epoch // 256
+            e.best = [d for d, s in scored[:self.max_deltas] if s >= cutoff]
+            e.scores.clear()
+        return [blk + d for d in e.best]

@@ -1,0 +1,89 @@
+"""Bingo [Bakhshalipour+ HPCA'19]: spatial footprint prefetching at the L2.
+
+Bingo records the footprint (bitmap of accessed blocks) of each spatial
+region and replays it when the region is re-entered, matching first on
+the long event (PC+address) and falling back to the short event
+(PC+offset).  We keep that two-event matching and the region-tracking
+pipeline, with a simplified history table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .base import Prefetcher
+
+REGION_BLOCKS = 32  # 2KB regions of 64B blocks
+
+
+class _RegionTracker:
+    __slots__ = ("base_blk", "pc", "offset", "bitmap")
+
+    def __init__(self, base_blk: int, pc: int, offset: int):
+        self.base_blk = base_blk
+        self.pc = pc
+        self.offset = offset
+        self.bitmap = 1 << offset
+
+
+class BingoPrefetcher(Prefetcher):
+    """Simplified Bingo at the L2 (trains on all L2 traffic)."""
+
+    name = "bingo"
+    level = "l2"
+    train_on_all_l2 = True
+
+    def __init__(self, trackers: int = 64, history_size: int = 2048,
+                 max_degree: int = 8):
+        super().__init__()
+        self.trackers = trackers
+        self.history_size = history_size
+        self.max_degree = max_degree
+        self._active: "OrderedDict[int, _RegionTracker]" = OrderedDict()
+        self._long: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._short: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+
+    def _commit(self, region: int, tracker: _RegionTracker) -> None:
+        """Region evicted from the tracker: record its footprint."""
+        for table, key in (
+                (self._long, (tracker.pc, tracker.base_blk)),
+                (self._short, (tracker.pc, tracker.offset))):
+            table[key] = tracker.bitmap
+            table.move_to_end(key)
+            if len(table) > self.history_size:
+                table.popitem(last=False)
+
+    def _predict(self, pc: int, base_blk: int,
+                 offset: int) -> Optional[int]:
+        bitmap = self._long.get((pc, base_blk))
+        if bitmap is None:
+            bitmap = self._short.get((pc, offset))
+        return bitmap
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        region = blk // REGION_BLOCKS
+        base_blk = region * REGION_BLOCKS
+        offset = blk - base_blk
+        tracker = self._active.get(region)
+        if tracker is not None:
+            tracker.bitmap |= 1 << offset
+            self._active.move_to_end(region)
+            return []
+        # New region: predict its footprint from history, start tracking.
+        bitmap = self._predict(pc, base_blk, offset)
+        tracker = _RegionTracker(base_blk, pc, offset)
+        self._active[region] = tracker
+        if len(self._active) > self.trackers:
+            old_region, old = self._active.popitem(last=False)
+            self._commit(old_region, old)
+        if bitmap is None:
+            return []
+        candidates = []
+        for off in range(REGION_BLOCKS):
+            if off != offset and bitmap & (1 << off):
+                candidates.append(base_blk + off)
+                if len(candidates) >= self.max_degree:
+                    break
+        return candidates

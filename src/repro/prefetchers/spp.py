@@ -1,0 +1,117 @@
+"""SPP-PPF [Kim+ MICRO'16; Bhatia+ ISCA'19]: signature-path prefetching.
+
+SPP keeps a per-page delta signature; a pattern table maps signatures to
+next-delta candidates with confidence; lookahead multiplies confidence
+along the predicted path and stops below a threshold.  PPF adds a
+perceptron filter over simple features to reject low-quality candidates.
+We implement SPP's signature/lookahead core and a compact perceptron
+filter trained online by prefetch usefulness feedback.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from .base import Prefetcher
+
+PAGE_BLOCKS = 64  # 4KB pages
+SIG_BITS = 12
+
+
+def _advance_signature(sig: int, delta: int) -> int:
+    return ((sig << 3) ^ (delta & 0x7F)) & ((1 << SIG_BITS) - 1)
+
+
+class SPPPrefetcher(Prefetcher):
+    """Simplified SPP with a perceptron prefetch filter (PPF)."""
+
+    name = "spp-ppf"
+    level = "l2"
+    train_on_all_l2 = True
+
+    def __init__(self, pages: int = 256, lookahead: int = 4,
+                 confidence_threshold: float = 0.25,
+                 filter_threshold: float = 0.0):
+        super().__init__()
+        self.pages = pages
+        self.lookahead = lookahead
+        self.confidence_threshold = confidence_threshold
+        self.filter_threshold = filter_threshold
+        self._pages: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self._pattern: Dict[int, Dict[int, int]] = {}
+        # PPF: one weight per (feature bucket); features are the
+        # signature hash and the path confidence bucket.
+        self._weights: Dict[int, float] = {}
+        self._issued_features: "OrderedDict[int, List[int]]" = OrderedDict()
+
+    # -- PPF -------------------------------------------------------------
+
+    def _features(self, sig: int, conf: float, depth: int) -> List[int]:
+        return [sig & 0xFF, 0x100 + int(conf * 8), 0x110 + depth]
+
+    def _filter_score(self, features: List[int]) -> float:
+        return sum(self._weights.get(f, 0.0) for f in features)
+
+    def _train_filter(self, blk: int, useful: bool) -> None:
+        features = self._issued_features.pop(blk, None)
+        if features is None:
+            return
+        delta = 0.25 if useful else -0.25
+        for f in features:
+            w = self._weights.get(f, 0.0) + delta
+            self._weights[f] = max(-4.0, min(4.0, w))
+
+    def note_useful(self, blk: int, now: float) -> None:
+        super().note_useful(blk, now)
+        self._train_filter(blk, True)
+
+    def note_useless(self, blk: int, now: float) -> None:
+        super().note_useless(blk, now)
+        self._train_filter(blk, False)
+
+    # -- SPP core ------------------------------------------------------------
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        page = blk // PAGE_BLOCKS
+        state = self._pages.get(page)
+        if state is None:
+            if len(self._pages) >= self.pages:
+                self._pages.popitem(last=False)
+            self._pages[page] = (0, blk)
+            return []
+        sig, last_blk = state
+        self._pages.move_to_end(page)
+        delta = blk - last_blk
+        if delta == 0:
+            return []
+        table = self._pattern.setdefault(sig, {})
+        table[delta] = table.get(delta, 0) + 1
+        sig = _advance_signature(sig, delta)
+        self._pages[page] = (sig, blk)
+
+        # Lookahead walk down the most confident path.
+        candidates: List[int] = []
+        cur_blk, cur_sig, conf = blk, sig, 1.0
+        for depth in range(self.lookahead):
+            nxt = self._pattern.get(cur_sig)
+            if not nxt:
+                break
+            best_delta, votes = max(nxt.items(), key=lambda kv: kv[1])
+            total = sum(nxt.values())
+            conf *= votes / total
+            if conf < self.confidence_threshold:
+                break
+            cand = cur_blk + best_delta
+            if cand // PAGE_BLOCKS != page:
+                break  # SPP stops at page boundaries
+            features = self._features(cur_sig, conf, depth)
+            if self._filter_score(features) >= self.filter_threshold:
+                candidates.append(cand)
+                self._issued_features[cand] = features
+                if len(self._issued_features) > 512:
+                    self._issued_features.popitem(last=False)
+            cur_blk = cand
+            cur_sig = _advance_signature(cur_sig, best_delta)
+        return candidates

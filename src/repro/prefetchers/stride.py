@@ -1,0 +1,60 @@
+"""PC-localized stride prefetcher (the paper's baseline L1D prefetcher).
+
+Classic IP-stride: a small table keyed by load PC records the last block
+address and last stride; two consecutive identical strides arm the entry,
+after which it prefetches ``degree`` blocks ahead (Table II: degree 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Prefetcher
+
+
+class _StrideEntry:
+    __slots__ = ("last_blk", "stride", "confidence")
+
+    def __init__(self, blk: int):
+        self.last_blk = blk
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """IP-stride at the L1D, degree 3 by default."""
+
+    name = "ip-stride"
+    level = "l1d"
+
+    def __init__(self, degree: int = 3, table_size: int = 256,
+                 min_confidence: int = 2):
+        super().__init__()
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.table_size = table_size
+        self.min_confidence = min_confidence
+        self._table: Dict[int, _StrideEntry] = {}
+
+    def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
+              now: float) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # FIFO-ish eviction: drop the oldest inserted PC.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _StrideEntry(blk)
+            return []
+        stride = blk - entry.last_blk
+        if stride == 0:
+            return []  # same block; nothing to learn
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 4)
+        else:
+            entry.confidence = 0
+            entry.stride = stride
+        entry.last_blk = blk
+        if entry.confidence < self.min_confidence:
+            return []
+        return [blk + entry.stride * (k + 1) for k in range(self.degree)]

@@ -1,0 +1,191 @@
+"""Single-core trace-driven engine with a lightweight OoO timing proxy.
+
+The core model is deliberately simple (see DESIGN.md): instructions issue
+at ``commit_width`` per cycle; loads occupy one of ``mlp`` miss slots
+until their data returns, and a load whose data is outstanding blocks
+retirement once the ROB fills.  This yields the two effects temporal
+prefetching papers rely on: (1) covered misses shorten load latency, and
+(2) memory-level parallelism caps how much latency overlaps.
+
+The engine owns warm-up handling: statistics are reset after the warm-up
+fraction so every reported number describes steady state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..memory.cache import Cache
+from ..memory.dram import DRAM
+from ..memory.hierarchy import CoreHierarchy, SharedUncore
+from ..prefetchers.base import Prefetcher
+from .config import SystemConfig
+from .stats import PrefetchReport, SimResult
+from .trace import Trace
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+
+class CoreModel:
+    """The timing proxy for one core."""
+
+    def __init__(self, config: SystemConfig):
+        self.width = config.commit_width
+        self.rob = config.rob_size
+        self.mlp = config.mlp
+        self.clock = 0.0
+        self.instrs = 0
+        self._outstanding: deque = deque()  # (completion_cycle, instr_idx)
+        self._last_load_completion = 0.0
+
+    def advance(self, gap: int) -> float:
+        """Dispatch ``gap`` non-memory instructions plus the memory op."""
+        self.instrs += gap + 1
+        self.clock += (gap + 1) / self.width
+        # ROB back-pressure: cannot run further than `rob` instructions
+        # past the oldest incomplete load.
+        while self._outstanding:
+            completion, idx = self._outstanding[0]
+            if self.instrs - idx <= self.rob:
+                break
+            self.clock = max(self.clock, completion)
+            self._outstanding.popleft()
+        return self.clock
+
+    def issue_time(self, dep: bool) -> float:
+        """Cycle at which the next memory op can issue.
+
+        A dependent load (``dep``) waits for the previous load's data:
+        this serialization is what makes pointer chases latency-bound,
+        and it is also the time at which prefetch timeliness must be
+        judged (an in-flight prefetch may complete during the wait).
+        """
+        if dep:
+            return max(self.clock, self._last_load_completion)
+        return self.clock
+
+    def complete_access(self, issue: float, latency: float,
+                        is_write: bool) -> None:
+        """Register the memory op's latency with the MLP window."""
+        if is_write:
+            return  # stores retire via the store buffer
+        if len(self._outstanding) >= self.mlp:
+            completion, _ = self._outstanding.popleft()
+            self.clock = max(self.clock, completion)
+        completion = issue + latency
+        self._last_load_completion = completion
+        self._outstanding.append((completion, self.instrs))
+
+    def drain(self) -> float:
+        """Wait for every outstanding load; returns the final clock."""
+        while self._outstanding:
+            completion, _ = self._outstanding.popleft()
+            self.clock = max(self.clock, completion)
+        return self.clock
+
+
+def build_uncore(config: SystemConfig) -> SharedUncore:
+    """Construct the shared LLC + DRAM for a system."""
+    llc = Cache("LLC", config.llc_size, config.llc_ways, config.llc_latency,
+                replacement=config.llc_replacement)
+    dram = DRAM(channels=config.channels,
+                mt_per_sec=config.dram_mt_per_sec,
+                base_latency=config.dram_base_latency,
+                bandwidth_scale=config.dram_bandwidth_scale)
+    return SharedUncore(llc, dram, num_cores=config.num_cores)
+
+
+def build_core(core_id: int, config: SystemConfig,
+               uncore: SharedUncore,
+               l1_prefetcher: Optional[PrefetcherFactory] = None,
+               l2_prefetchers: Sequence[PrefetcherFactory] = ()
+               ) -> CoreHierarchy:
+    """Construct one core's private hierarchy and attach its prefetchers."""
+    l1d = Cache("L1D", config.l1d_size, config.l1d_ways, config.l1d_latency,
+                replacement="lru")
+    l2 = Cache("L2", config.l2_size, config.l2_ways, config.l2_latency,
+               replacement="lru")
+    core = CoreHierarchy(core_id, l1d, l2, uncore)
+    if l1_prefetcher is not None:
+        core.attach_l1_prefetcher(l1_prefetcher())
+    for factory in l2_prefetchers:
+        core.attach_l2_prefetcher(factory())
+    return core
+
+
+def _collect_result(workload: str, core: CoreHierarchy, model: CoreModel,
+                    cycles: float, instructions: int,
+                    accesses: int) -> SimResult:
+    uncore = core.uncore
+    reports: List[PrefetchReport] = []
+    pfs = list(core.l2_prefetchers)
+    if core.l1_prefetcher is not None:
+        pfs.insert(0, core.l1_prefetcher)
+    for pf in pfs:
+        pf.finalize(model.clock)
+        s = pf.stats
+        rep = PrefetchReport(
+            name=pf.name, issued=s.issued, useful=s.useful,
+            useless=s.useless_evictions, dropped=s.dropped,
+            accuracy=(s.useful / s.issued if s.issued else 0.0),
+            coverage=s.coverage(core.uncovered_misses))
+        controller = getattr(pf, "controller", None)
+        if controller is not None:
+            rep.metadata_reads = controller.traffic.reads
+            rep.metadata_writes = controller.traffic.writes
+            rep.metadata_rearrange_moves = controller.traffic.rearrange_moves
+        reports.append(rep)
+    kilo_instr = instructions / 1000.0 if instructions else 1.0
+    return SimResult(
+        workload=workload,
+        cycles=cycles,
+        instructions=instructions,
+        accesses=accesses,
+        l1d_miss_rate=core.l1d.stats.miss_rate,
+        l2_miss_rate=core.l2.stats.miss_rate,
+        llc_miss_rate=uncore.llc.stats.miss_rate,
+        llc_mpki=uncore.llc.stats.misses / kilo_instr,
+        uncovered_misses=core.uncovered_misses,
+        dram_reads=uncore.dram.stats.reads,
+        dram_writes=uncore.dram.stats.writes,
+        dram_queue_delay=uncore.dram.stats.avg_queue_delay,
+        prefetchers=reports,
+    )
+
+
+def run_single(trace: Trace, config: Optional[SystemConfig] = None,
+               l1_prefetcher: Optional[PrefetcherFactory] = None,
+               l2_prefetchers: Sequence[PrefetcherFactory] = ()
+               ) -> SimResult:
+    """Simulate one trace on a one-core system; returns steady-state stats."""
+    config = config or SystemConfig()
+    if config.num_cores != 1:
+        config = config.scaled(num_cores=1)
+    uncore = build_uncore(config)
+    core = build_core(0, config, uncore, l1_prefetcher, l2_prefetchers)
+    model = CoreModel(config)
+
+    warmup = int(len(trace) * config.warmup_fraction)
+    warm_clock = 0.0
+    warm_instrs = 0
+    for i, (pc, addr, is_write, gap, dep) in enumerate(trace):
+        model.advance(gap)
+        now = model.issue_time(dep)
+        latency = core.access(pc, addr, is_write, now)
+        model.complete_access(now, latency, is_write)
+        if i + 1 == warmup:
+            model.drain()
+            warm_clock = model.clock
+            warm_instrs = model.instrs
+            core.reset_stats()
+            uncore.reset_stats()
+            for pf in uncore.prefetchers.values():
+                reset = getattr(pf, "reset_epoch_stats", None)
+                if reset is not None:
+                    reset()
+    cycles = model.drain() - warm_clock
+    instructions = model.instrs - warm_instrs
+    return _collect_result(trace.name, core, model, cycles, instructions,
+                           len(trace) - warmup)

@@ -1,0 +1,134 @@
+"""Result containers and metric helpers.
+
+All experiments funnel through :class:`SimResult`, so speedup / coverage /
+accuracy / MPKI / traffic are computed in exactly one place, and the
+figure-generating harness only formats them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input returns 1.0 (neutral speedup)."""
+    vals = [v for v in values]
+    if not vals:
+        return 1.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class PrefetchReport:
+    """Per-prefetcher outcome of one run."""
+
+    name: str
+    issued: int = 0
+    useful: int = 0
+    useless: int = 0
+    dropped: int = 0
+    accuracy: float = 0.0
+    coverage: float = 0.0
+    metadata_reads: int = 0
+    metadata_writes: int = 0
+    metadata_rearrange_moves: int = 0
+
+    @property
+    def metadata_traffic_bytes(self) -> int:
+        return 64 * (self.metadata_reads + self.metadata_writes
+                     + 2 * self.metadata_rearrange_moves)
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one trace on one configuration."""
+
+    workload: str
+    cycles: float
+    instructions: int
+    accesses: int
+    l1d_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    llc_miss_rate: float = 0.0
+    llc_mpki: float = 0.0
+    uncovered_misses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_queue_delay: float = 0.0
+    prefetchers: List[PrefetchReport] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def prefetcher(self, name: str) -> Optional[PrefetchReport]:
+        for p in self.prefetchers:
+            if p.name == name:
+                return p
+        return None
+
+    @property
+    def temporal(self) -> Optional[PrefetchReport]:
+        """The temporal prefetcher's report, if one ran."""
+        for p in self.prefetchers:
+            if p.name in ("triage", "triangel", "streamline") or \
+                    p.name.startswith(("streamline", "triangel", "triage")):
+                return p
+        return None
+
+    @property
+    def offchip_bytes(self) -> int:
+        return 64 * (self.dram_reads + self.dram_writes)
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """IPC ratio of ``result`` over ``baseline`` (same workload)."""
+    if result.workload != baseline.workload:
+        raise ValueError(
+            f"speedup across different workloads: {result.workload} "
+            f"vs {baseline.workload}")
+    if baseline.ipc == 0:
+        raise ValueError("baseline has zero IPC")
+    return result.ipc / baseline.ipc
+
+
+def geomean_speedup(results: Sequence[SimResult],
+                    baselines: Sequence[SimResult]) -> float:
+    """Geomean of per-workload speedups (paired by position)."""
+    if len(results) != len(baselines):
+        raise ValueError("results and baselines must pair up")
+    return geomean(speedup(r, b) for r, b in zip(results, baselines))
+
+
+def mean_coverage(results: Sequence[SimResult]) -> float:
+    """Average temporal-prefetch coverage across runs (0 when none ran)."""
+    covs = [r.temporal.coverage for r in results if r.temporal is not None]
+    return sum(covs) / len(covs) if covs else 0.0
+
+
+def mean_accuracy(results: Sequence[SimResult]) -> float:
+    accs = [r.temporal.accuracy for r in results if r.temporal is not None]
+    return sum(accs) / len(accs) if accs else 0.0
+
+
+def total_metadata_traffic(results: Sequence[SimResult]) -> int:
+    return sum(r.temporal.metadata_traffic_bytes for r in results
+               if r.temporal is not None)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table used by every bench's stdout report."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Memory-access traces.
+
+A trace is the unit of work the engine consumes: an ordered sequence of
+memory operations, each carrying the PC of the load/store, the byte
+address, a write flag, and the number of non-memory instructions retired
+since the previous memory operation (so instruction counts and IPC can be
+reconstructed without simulating non-memory work).
+
+Traces are immutable once built and can be saved/loaded as ``.npz`` files
+for reuse across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory operation."""
+
+    pc: int
+    addr: int
+    is_write: bool = False
+    gap: int = 3          # non-memory instructions preceding this op
+    dep: bool = False     # depends on the previous load (pointer chase)
+
+
+class Trace:
+    """An immutable memory-access trace backed by numpy arrays.
+
+    ``dep`` marks loads that consume the value of the *previous* load
+    (linked-structure traversals): the timing proxy serializes them,
+    which is what makes pointer chases latency-bound and is why covering
+    their misses pays off so much.
+    """
+
+    def __init__(self, name: str, pcs: Sequence[int], addrs: Sequence[int],
+                 writes: Sequence[bool], gaps: Sequence[int],
+                 deps: Optional[Sequence[bool]] = None):
+        n = len(pcs)
+        if not (len(addrs) == len(writes) == len(gaps) == n):
+            raise ValueError("trace arrays must have equal length")
+        self.name = name
+        self.pcs = np.asarray(pcs, dtype=np.int64)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=np.bool_)
+        self.gaps = np.asarray(gaps, dtype=np.int32)
+        if deps is None:
+            self.deps = np.zeros(n, dtype=np.bool_)
+        else:
+            if len(deps) != n:
+                raise ValueError("trace arrays must have equal length")
+            self.deps = np.asarray(deps, dtype=np.bool_)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, bool, int, bool]]:
+        """Yield (pc, addr, is_write, gap, dep) plain-Python tuples."""
+        return zip(self.pcs.tolist(), self.addrs.tolist(),
+                   self.writes.tolist(), self.gaps.tolist(),
+                   self.deps.tolist())
+
+    @property
+    def instructions(self) -> int:
+        """Total retired instructions represented by this trace."""
+        return int(self.gaps.sum()) + len(self)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        return Trace(f"{self.name}[{start}:{stop}]",
+                     self.pcs[start:stop], self.addrs[start:stop],
+                     self.writes[start:stop], self.gaps[start:stop],
+                     self.deps[start:stop])
+
+    def footprint_blocks(self) -> int:
+        """Number of distinct 64B blocks touched."""
+        return int(np.unique(self.addrs >> 6).size)
+
+    def unique_pcs(self) -> int:
+        return int(np.unique(self.pcs).size)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(path, name=np.array(self.name), pcs=self.pcs,
+                            addrs=self.addrs, writes=self.writes,
+                            gaps=self.gaps, deps=self.deps)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        data = np.load(path, allow_pickle=False)
+        deps = data["deps"] if "deps" in data else None
+        return cls(str(data["name"]), data["pcs"], data["addrs"],
+                   data["writes"], data["gaps"], deps)
+
+    @classmethod
+    def from_records(cls, name: str,
+                     records: Iterable[TraceRecord]) -> "Trace":
+        builder = TraceBuilder(name)
+        for r in records:
+            builder.add(r.pc, r.addr, r.is_write, r.gap, r.dep)
+        return builder.build()
+
+
+class TraceBuilder:
+    """Mutable helper used by the workload generators."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._pcs: List[int] = []
+        self._addrs: List[int] = []
+        self._writes: List[bool] = []
+        self._gaps: List[int] = []
+        self._deps: List[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def add(self, pc: int, addr: int, is_write: bool = False,
+            gap: int = 3, dep: bool = False) -> None:
+        self._pcs.append(pc)
+        self._addrs.append(addr)
+        self._writes.append(is_write)
+        self._gaps.append(gap)
+        self._deps.append(dep)
+
+    def extend(self, other: "TraceBuilder") -> None:
+        self._pcs.extend(other._pcs)
+        self._addrs.extend(other._addrs)
+        self._writes.extend(other._writes)
+        self._gaps.extend(other._gaps)
+        self._deps.extend(other._deps)
+
+    def build(self) -> Trace:
+        return Trace(self.name, self._pcs, self._addrs, self._writes,
+                     self._gaps, self._deps)

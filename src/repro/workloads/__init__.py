@@ -1,0 +1,13 @@
+"""Synthetic workload suites (SPEC06/SPEC17/GAP stand-ins) and mixes.
+
+:mod:`.graphs` additionally provides algorithm-driven kernels on R-MAT
+graphs (real BFS/PageRank/CC executions recorded as traces); they are
+not part of the default suite registry but plug into the same engines.
+"""
+
+from . import base, graphs
+from .mixes import generate_mixes, mix_name
+from .suites import DEFAULT_SEED, make, names, suite, suite_of
+
+__all__ = ["base", "graphs", "generate_mixes", "mix_name",
+           "DEFAULT_SEED", "make", "names", "suite", "suite_of"]

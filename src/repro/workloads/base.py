@@ -1,0 +1,276 @@
+"""Archetype memory-access generators.
+
+Temporal prefetchers exploit *repeated irregular sequences*.  Each
+archetype below reproduces the structural property of a benchmark family
+that matters to the paper's evaluation:
+
+* :func:`pointer_chase` - linked-structure traversal over a fixed random
+  permutation (mcf/omnetpp/xalancbmk-like): perfectly repeating,
+  spatially irregular -> ideal temporal-prefetching territory.
+* :func:`graph_sweep` - CSR neighbour-list traversal with either a stable
+  vertex order (PageRank-like) or a perturbed order per iteration
+  (BFS-like): long repeating runs with realignment opportunities.
+* :func:`stream` / :func:`strided` - regular traffic that stride
+  prefetchers already cover; temporal metadata is useless here and only
+  costs LLC capacity (the bzip2 effect in Fig. 9).
+* :func:`hash_probe` - Zipf-random probes with little temporal reuse:
+  generates low-utility metadata, exercising utility-aware management.
+* :func:`scan_mix` - interleaves a temporal-friendly chase with a
+  no-reuse scanning PC (the mcf case where Triangel's PC bypassing wins).
+* :func:`stencil_sweep` - repeated multi-array grid sweeps
+  (milc/lbm-like): temporal *and* regular at once.
+
+All generators are deterministic given a seed.  Addresses for different
+logical data structures live in disjoint 4GB regions so they never alias.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.trace import Trace, TraceBuilder
+
+REGION_BITS = 32
+_PC_BASE = 0x400000
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _region(idx: int) -> int:
+    """Base byte address of data region ``idx``."""
+    return (idx + 1) << REGION_BITS
+
+
+def _pc(idx: int) -> int:
+    """Synthetic PC for logical load site ``idx``."""
+    return _PC_BASE + 4 * idx
+
+
+def _zipf_indices(rng: np.random.Generator, n: int, universe: int,
+                  alpha: float) -> np.ndarray:
+    """``n`` Zipf(alpha)-distributed indices in [0, universe)."""
+    if alpha <= 0:
+        return rng.integers(0, universe, size=n)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    probs = ranks ** -alpha
+    probs /= probs.sum()
+    return rng.choice(universe, size=n, p=probs)
+
+
+def pointer_chase(name: str, n: int, seed: int, nodes: int = 32768,
+                  n_lists: int = 1, mutate_every: int = 0,
+                  node_bytes: int = 64, gap: int = 6) -> Trace:
+    """Traverse ``n_lists`` fixed random permutations of ``nodes`` nodes.
+
+    ``mutate_every`` > 0 re-links a random node every that many accesses,
+    creating the stale-metadata situations Fig. 4 discusses.
+    """
+    rng = _rng(seed)
+    builder = TraceBuilder(name)
+    perms = [rng.permutation(nodes) for _ in range(n_lists)]
+    cursors = [0] * n_lists
+    positions = [rng.integers(0, nodes) for _ in range(n_lists)]
+    mutations = 0
+    for i in range(n):
+        li = i % n_lists
+        perm = perms[li]
+        pos = positions[li]
+        addr = _region(li) + int(perm[pos]) * node_bytes
+        builder.add(_pc(li), addr, gap=gap, dep=True)
+        positions[li] = (pos + 1) % nodes
+        cursors[li] += 1
+        if mutate_every and cursors[li] % mutate_every == 0:
+            a, b = rng.integers(0, nodes, size=2)
+            perm[a], perm[b] = perm[b], perm[a]
+            mutations += 1
+    return builder.build()
+
+
+def graph_sweep(name: str, n: int, seed: int, vertices: int = 4096,
+                avg_degree: int = 8, stable_order: bool = True,
+                perturbation: float = 0.05, vertex_bytes: int = 64,
+                universe_factor: int = 8, gap: int = 4) -> Trace:
+    """Repeated CSR sweeps: per vertex, read vertex data then neighbours.
+
+    ``stable_order=True`` revisits vertices in the same order every
+    iteration (PageRank/CC-like); otherwise a fraction ``perturbation`` of
+    the order is shuffled per iteration (BFS/SSSP-like frontiers).
+    Neighbour property indices are drawn from a ``universe_factor`` times
+    larger space than the vertex set, as in real graphs where the
+    property array dwarfs any one frontier; this keeps the neighbour
+    stream irregular without making every block a conflicting trigger.
+    """
+    rng = _rng(seed)
+    degrees = np.maximum(1, rng.poisson(avg_degree, size=vertices))
+    universe = max(1, universe_factor) * vertices
+    neighbours = [rng.integers(0, universe, size=int(d)) for d in degrees]
+    order = np.arange(vertices)
+    builder = TraceBuilder(name)
+    vprop_region = _region(0)
+    nprop_region = _region(1)
+    pc_v, pc_n = _pc(0), _pc(1)
+    emitted = 0
+    while emitted < n:
+        if not stable_order:
+            k = max(1, int(vertices * perturbation))
+            idx = rng.integers(0, vertices, size=(k, 2))
+            for a, b in idx:
+                order[a], order[b] = order[b], order[a]
+        for v in order:
+            builder.add(pc_v, vprop_region + int(v) * vertex_bytes, gap=gap)
+            emitted += 1
+            if emitted >= n:
+                break
+            for u in neighbours[int(v)]:
+                builder.add(pc_n, nprop_region + int(u) * vertex_bytes,
+                            gap=2, dep=True)
+                emitted += 1
+                if emitted >= n:
+                    break
+            if emitted >= n:
+                break
+    return builder.build()
+
+
+def stream(name: str, n: int, seed: int, arrays: int = 3,
+           array_bytes: int = 1 << 22, stride: int = 8,
+           gap: int = 2) -> Trace:
+    """Sequential sweeps over large arrays (lbm/libquantum-like)."""
+    del seed  # fully regular; seed kept for a uniform signature
+    builder = TraceBuilder(name)
+    offsets = [0] * arrays
+    for i in range(n):
+        a = i % arrays
+        addr = _region(a) + offsets[a]
+        builder.add(_pc(a), addr, is_write=(a == arrays - 1), gap=gap)
+        offsets[a] = (offsets[a] + stride) % array_bytes
+    return builder.build()
+
+
+def strided(name: str, n: int, seed: int, stride: int = 192,
+            array_bytes: int = 1 << 23, gap: int = 4) -> Trace:
+    """Fixed non-unit stride over one array (regular; covered by IP-stride)."""
+    del seed
+    builder = TraceBuilder(name)
+    off = 0
+    pc = _pc(0)
+    for _ in range(n):
+        builder.add(pc, _region(0) + off, gap=gap)
+        off = (off + stride) % array_bytes
+    return builder.build()
+
+
+def hash_probe(name: str, n: int, seed: int, table_blocks: int = 65536,
+               alpha: float = 0.6, rerun: float = 0.3,
+               burst: int = 64, gap: int = 5) -> Trace:
+    """Zipf-random probes into a big hash table (weak temporal reuse).
+
+    A fraction ``rerun`` of the trace replays recent probe bursts (keys
+    queried again shortly after, as in lookup-heavy codes); the rest is
+    fresh Zipf noise.  Temporal prefetchers get moderate-but-real utility
+    here, which exercises utility-aware metadata management.
+    """
+    rng = _rng(seed)
+    builder = TraceBuilder(name)
+    pc = _pc(0)
+    base = _region(0)
+    history: List[List[int]] = []
+    emitted = 0
+    while emitted < n:
+        if history and rng.random() < rerun:
+            # Replay one past probe burst in full (a re-issued query).
+            chunk = history[int(rng.integers(0, len(history)))]
+        else:
+            chunk = [int(i) for i in _zipf_indices(
+                rng, burst, table_blocks, alpha)]
+            history.append(chunk)
+            if len(history) > 16:
+                history.pop(0)
+        for i in chunk:
+            builder.add(pc, base + i * 64, gap=gap)
+            emitted += 1
+            if emitted >= n:
+                break
+    return builder.build()
+
+
+def scan_mix(name: str, n: int, seed: int, nodes: int = 16384,
+             scan_fraction: float = 0.4, scan_bytes: int = 1 << 24,
+             gap: int = 5) -> Trace:
+    """Pointer chase interleaved with a no-reuse scanning PC (mcf-like).
+
+    The scan PC touches fresh memory forever; its correlations never
+    repeat, so storing them evicts useful chase metadata.  Triangel's PC
+    bypassing handles this; Streamline (per the paper) does not, which is
+    why Triangel wins on mcf.
+    """
+    rng = _rng(seed)
+    perm = rng.permutation(nodes)
+    builder = TraceBuilder(name)
+    pos = 0
+    scan_off = 0
+    scan_period = max(2, int(round(1.0 / max(scan_fraction, 1e-6))))
+    pc_chase, pc_scan = _pc(0), _pc(1)
+    for i in range(n):
+        if scan_fraction > 0 and i % scan_period == 0:
+            builder.add(pc_scan, _region(1) + scan_off, gap=gap)
+            scan_off += 64  # always-new blocks: no temporal reuse
+        else:
+            builder.add(pc_chase, _region(0) + int(perm[pos]) * 64,
+                        gap=gap, dep=True)
+            pos = (pos + 1) % nodes
+    return builder.build()
+
+
+def stencil_sweep(name: str, n: int, seed: int, grid_blocks: int = 8192,
+                  arrays: int = 4, jitter: float = 0.0,
+                  gap: int = 3) -> Trace:
+    """Repeated sweeps over a grid touching several co-indexed arrays."""
+    rng = _rng(seed)
+    builder = TraceBuilder(name)
+    i = 0
+    emitted = 0
+    while emitted < n:
+        idx = i % grid_blocks
+        if jitter and rng.random() < jitter:
+            idx = int(rng.integers(0, grid_blocks))
+        for a in range(arrays):
+            builder.add(_pc(a), _region(a) + idx * 64,
+                        is_write=(a == arrays - 1), gap=gap)
+            emitted += 1
+            if emitted >= n:
+                break
+        i += 1
+    return builder.build()
+
+
+def phased(name: str, n: int, seed: int,
+           phases: Optional[Sequence[str]] = None, gap: int = 4) -> Trace:
+    """Alternate between archetype phases (tests dynamic partitioning)."""
+    phases = list(phases or ["chase", "stream"])
+    base_len = n // len(phases)
+    builder = TraceBuilder(name)
+    for k, kind in enumerate(phases):
+        # Last phase absorbs the remainder so len(trace) == n exactly.
+        per_phase = base_len if k < len(phases) - 1 else n - base_len * (
+            len(phases) - 1)
+        if kind == "chase":
+            sub = pointer_chase(name, per_phase, seed + k, nodes=12288,
+                                gap=gap)
+        elif kind == "stream":
+            sub = stream(name, per_phase, seed + k, gap=gap)
+        elif kind == "hash":
+            sub = hash_probe(name, per_phase, seed + k,
+                             table_blocks=20480, alpha=0.5, rerun=0.5,
+                             gap=gap)
+        else:
+            raise ValueError(f"unknown phase kind {kind!r}")
+        for pc, addr, w, g, d in sub:
+            # Shift each phase's PCs/regions so phases don't share state.
+            builder.add(pc + 0x1000 * k, addr + (k << (REGION_BITS + 4)),
+                        w, g, d)
+    return builder.build()

@@ -1,0 +1,40 @@
+"""Multi-core workload mixes.
+
+The paper simulates 150 random mixes of memory-intensive workloads per
+core count.  We generate mixes the same way (seeded uniform draws with
+replacement from the memory-intensive pool) but default to a smaller
+count so the Python engine stays tractable; every experiment takes the
+mix count as a parameter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from . import suites
+
+
+def generate_mixes(num_cores: int, count: int,
+                   pool: Optional[Sequence[str]] = None,
+                   seed: int = 7) -> List[List[str]]:
+    """Return ``count`` mixes, each a list of ``num_cores`` workload names.
+
+    Draws are uniform with replacement, like the paper's random mixes;
+    the same (seed, num_cores, count) always produces the same mixes.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    pool = list(pool) if pool is not None else suites.names()
+    if not pool:
+        raise ValueError("workload pool is empty")
+    rng = random.Random(seed)
+    return [[rng.choice(pool) for _ in range(num_cores)]
+            for _ in range(count)]
+
+
+def mix_name(mix: Sequence[str]) -> str:
+    """Human-readable label for a mix."""
+    return "+".join(w.split(".", 1)[-1] for w in mix)

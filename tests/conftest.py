@@ -1,0 +1,39 @@
+"""Shared fixtures: tiny configs and traces so the suite stays fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.trace import TraceBuilder
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """1/8-scale hierarchy: big enough to partition, small enough to
+    pressure with a few thousand accesses."""
+    return SystemConfig().scaled_down(8)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """The experiments' 1/4-scale hierarchy."""
+    return SystemConfig().scaled_down(4)
+
+
+def chase_trace(name: str = "chase", nodes: int = 4096, n: int = 12288,
+                pc: int = 0x400, seed: int = 3, dep: bool = True):
+    """A deterministic pointer chase over a fixed permutation."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(nodes)
+    base = 0x10000000 + (seed << 32)  # distinct data region per seed
+    b = TraceBuilder(name)
+    for i in range(n):
+        b.add(pc, base + int(perm[i % nodes]) * 64, gap=4, dep=dep)
+    return b.build()
+
+
+@pytest.fixture
+def chase():
+    return chase_trace()

@@ -1,0 +1,79 @@
+"""Unit tests for repro.memory.address."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import (BLOCK_SIZE, addr_of, block_of, fold_hash,
+                                  hash32, is_pow2, log2, set_index, tag_of)
+
+
+def test_block_size_is_64():
+    assert BLOCK_SIZE == 64
+
+
+def test_block_of_strips_offset():
+    assert block_of(0) == 0
+    assert block_of(63) == 0
+    assert block_of(64) == 1
+    assert block_of(129) == 2
+
+
+def test_addr_of_inverts_block_of():
+    assert addr_of(block_of(0x12345)) == 0x12340 & ~63
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_block_roundtrip(addr):
+    blk = block_of(addr)
+    assert addr_of(blk) <= addr < addr_of(blk) + BLOCK_SIZE
+
+
+def test_set_index_masks_low_bits():
+    assert set_index(0b101101, 8) == 0b101
+    assert set_index(0b101101, 1) == 0
+
+
+@given(st.integers(min_value=0, max_value=2**40),
+       st.sampled_from([1, 2, 4, 64, 512, 4096]))
+def test_set_index_in_range(blk, sets):
+    assert 0 <= set_index(blk, sets) < sets
+
+
+def test_tag_of_drops_set_bits():
+    assert tag_of(0x1234, 16) == 0x1234 >> 4
+
+
+def test_is_pow2():
+    assert is_pow2(1) and is_pow2(2) and is_pow2(1024)
+    assert not is_pow2(0) and not is_pow2(3) and not is_pow2(-4)
+
+
+def test_log2_exact():
+    assert log2(1) == 0
+    assert log2(4096) == 12
+
+
+def test_log2_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        log2(3)
+
+
+def test_hash32_deterministic_and_bounded():
+    assert hash32(12345) == hash32(12345)
+    assert 0 <= hash32(0xDEADBEEF) < 2**32
+
+
+def test_hash32_spreads():
+    values = {hash32(i) & 0xFF for i in range(1000)}
+    assert len(values) > 200  # most buckets touched
+
+
+@given(st.integers(min_value=0, max_value=2**40),
+       st.integers(min_value=1, max_value=16))
+def test_fold_hash_in_range(x, bits):
+    assert 0 <= fold_hash(x, bits) < (1 << bits)
+
+
+def test_fold_hash_differs_from_identity():
+    assert any(fold_hash(i, 10) != i for i in range(1024))

@@ -1,0 +1,107 @@
+"""Tests for stream alignment and realignment (Figures 3 and 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alignment import align, find_alignable, realign
+from repro.core.stream_entry import StreamEntry
+
+A, B, C, D, E, F, X, Y = range(100, 108)
+
+
+class TestFindAlignable:
+    def test_finds_overlapping_entry(self):
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(B, 4, [C, D, E, F])
+        assert find_alignable([old], new) is old
+
+    def test_skips_final_address_match(self):
+        # Fig 3's rule: trigger equal to an entry's *final* address means
+        # back-to-back chaining, not misalignment.
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(E, 4, [F, X, Y, A])
+        assert find_alignable([old], new) is None
+
+    def test_no_match_returns_none(self):
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(X, 4, [Y, F, A, B])
+        assert find_alignable([old], new) is None
+
+    def test_first_match_wins(self):
+        e1 = StreamEntry(A, 4, [B, C, D, E])
+        e2 = StreamEntry(X, 4, [B, Y, F, A])
+        new = StreamEntry(B, 4, [C, D, E, F])
+        assert find_alignable([e1, e2], new) is e1
+
+
+class TestAlign:
+    def test_figure3_merge(self):
+        """Old [A;B,C,D,E] + new [B;C,D,E,F] -> aligned [A;B,C,D,E],
+        leftover [F] bootstraps the next entry."""
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(B, 4, [C, D, E, F])
+        aligned, leftover = align(old, new)
+        assert aligned.addresses == [A, B, C, D, E]
+        assert leftover == [F]
+
+    def test_figure4_stale_overwrite(self):
+        """Old [A;B,C,D,E] + new [B;C,X,Y,F]: the aligned entry takes the
+        *new* correlations, killing the stale D,E suffix."""
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(B, 4, [C, X, Y, F])
+        aligned, leftover = align(old, new)
+        assert aligned.addresses == [A, B, C, X, Y]
+        assert leftover == [F]
+
+    def test_deeper_overlap(self):
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(D, 4, [E, F, X, Y])
+        aligned, leftover = align(old, new)
+        assert aligned.addresses == [A, B, C, D, E]
+        assert leftover == [F, X, Y]
+
+    def test_align_takes_new_pc(self):
+        old = StreamEntry(A, 4, [B, C, D, E], pc=1)
+        new = StreamEntry(B, 4, [C, D, E, F], pc=2)
+        aligned, _ = align(old, new)
+        assert aligned.pc == 2
+
+    def test_non_overlapping_raises(self):
+        old = StreamEntry(A, 4, [B, C, D, E])
+        new = StreamEntry(X, 4, [Y, F, A, B])
+        with pytest.raises(ValueError):
+            align(old, new)
+
+
+class TestRealign:
+    def test_shifts_window_back_one(self):
+        """Section IV-C's example: (B;A2,A3,..) with prior access A1
+        becomes (A1;B,A2,..) -- same length, last target dropped."""
+        entry = StreamEntry(B, 4, [C, D, E, F])
+        out = realign(entry, A)
+        assert out.addresses == [A, B, C, D, E]
+
+    def test_partial_entry(self):
+        entry = StreamEntry(B, 4, [C])
+        out = realign(entry, A)
+        assert out.addresses == [A, B, C]
+
+    def test_no_prior_returns_none(self):
+        assert realign(StreamEntry(B, 4, [C]), None) is None
+
+    def test_self_prior_returns_none(self):
+        assert realign(StreamEntry(B, 4, [C]), B) is None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=6,
+                max_size=10, unique=True))
+def test_align_preserves_sequence_property(addrs):
+    """Aligned entry + leftover must spell the merged access sequence."""
+    old = StreamEntry(addrs[0], 4, addrs[1:5])
+    # New entry starts somewhere inside old (not at its final address).
+    new = StreamEntry(addrs[2], 4, addrs[3:5] + addrs[5:7])
+    aligned, leftover = align(old, new)
+    merged = old.addresses[:3] + new.targets
+    assert aligned.addresses + leftover == merged
+    assert len(aligned.targets) <= 4

@@ -1,0 +1,150 @@
+"""Tests for the offline analyses (TP-MIN, redundancy, Table I)."""
+
+import pytest
+
+from repro.analysis.partition_table import (build_table, classify,
+                                            render_table)
+from repro.analysis.redundancy import measure
+from repro.analysis.tpmin import compare, replay
+from repro.core.metadata_store import StreamStore
+from repro.core.stream_entry import StreamEntry
+from repro.memory.metadata_store import PartitionController
+from repro.sim.trace import TraceBuilder
+
+
+def corr_trace(pairs, pc=1):
+    """Trace whose per-PC correlation events are exactly ``pairs``."""
+    b = TraceBuilder("t")
+    seq = [pairs[0][0]]
+    for t, x in pairs:
+        assert t == seq[-1]
+        seq.append(x)
+    for blk in seq:
+        b.add(pc, blk * 64)
+    return b.build()
+
+
+class TestTPMIN:
+    def test_figure6_example(self):
+        """Fig. 6: trigger B's target alternates; trigger A's is stable.
+        With one entry, MIN keeps hot-trigger B (0 correlation hits);
+        TP-MIN keeps (A -> B) and covers."""
+        seq = [10, 20, 99, 20, 98, 10, 20, 97, 20, 96, 10, 20]
+        b = TraceBuilder("fig6")
+        for blk in seq:
+            b.add(1, blk * 64)
+        res = compare(b.build(), capacity=1)
+        assert res["tp-min"].correlation_hit_rate >= \
+            res["min"].correlation_hit_rate
+
+    def test_stable_pairs_hit_under_both(self):
+        b = TraceBuilder("loop")
+        for _ in range(10):
+            for blk in (1, 2, 3, 4):
+                b.add(1, blk * 64)
+        res = compare(b.build(), capacity=64)
+        assert res["min"].correlation_hit_rate > 0.8
+        assert res["tp-min"].correlation_hit_rate > 0.8
+
+    def test_capacity_one_extreme(self):
+        b = TraceBuilder("x")
+        for _ in range(4):
+            for blk in (1, 2, 3):
+                b.add(1, blk * 64)
+        r = replay(b.build(), capacity=1, policy="tp-min")
+        assert r.lookups > 0
+
+    def test_validation(self):
+        b = TraceBuilder("v")
+        b.add(1, 64)
+        with pytest.raises(ValueError):
+            replay(b.build(), 0)
+        with pytest.raises(ValueError):
+            replay(b.build(), 4, policy="lru")
+
+    def test_pc_localized_events(self):
+        """Correlations never cross PCs."""
+        b = TraceBuilder("pcs")
+        b.add(1, 64)
+        b.add(2, 128)
+        b.add(1, 192)
+        r = replay(b.build(), 16, "min")
+        assert r.lookups == 1  # only (1 -> 3) for pc 1
+
+
+class TestRedundancy:
+    def _store_with(self, entries):
+        ctl = PartitionController(None, 1 << 20)
+        store = StreamStore(64, ctl, permanent_sets=0)
+        for e in entries:
+            store._sets.setdefault((0, -1), []).append(
+                __import__("repro.core.replacement",
+                           fromlist=["StoredEntry"]).StoredEntry(e))
+        return store
+
+    def test_no_redundancy_for_disjoint_entries(self):
+        store = self._store_with([StreamEntry(1, 4, [2, 3]),
+                                  StreamEntry(10, 4, [11, 12])])
+        rep = measure(store)
+        assert rep.redundancy_rate == 0.0
+
+    def test_overlapping_entries_detected(self):
+        """Fig. 3a: misaligned entries store the overlap twice."""
+        store = self._store_with([StreamEntry(1, 4, [2, 3, 4, 5]),
+                                  StreamEntry(2, 4, [3, 4, 5, 6])])
+        rep = measure(store)
+        # Addresses 2,3,4,5 each stored twice: 8 redundant of 10.
+        assert rep.redundant_correlations == 8
+        assert rep.redundancy_rate == pytest.approx(0.8)
+
+    def test_benign_redundancy_distinct_contexts(self):
+        """The paper's (C,A,T) vs (D,A,Y) example: address A is stored
+        twice, but the distinct predecessors disambiguate, so the copies
+        are benign."""
+        C, D, A, T, Y = 100, 200, 50, 7, 8
+        store = self._store_with([StreamEntry(C, 4, [A, T]),
+                                  StreamEntry(D, 4, [A, Y])])
+        rep = measure(store)
+        assert rep.redundant_correlations == 2  # the two copies of A
+        assert rep.benign_fraction == 1.0
+
+    def test_trigger_copies_are_not_benign(self):
+        """A duplicate with no predecessor context cannot disambiguate."""
+        store = self._store_with([StreamEntry(50, 4, [7]),
+                                  StreamEntry(100, 4, [50, 9])])
+        rep = measure(store)
+        assert rep.redundant_correlations == 2
+        assert rep.benign_fraction == 0.0
+
+
+class TestPartitionTable:
+    def test_eight_rows_paper_order(self):
+        rows = build_table()
+        assert [r.code for r in rows] == [
+            "RUW", "FUW", "RUS", "FUS", "RTW", "FTW", "RTS", "FTS"]
+
+    def test_only_fts_is_fully_good(self):
+        for r in build_table():
+            fully_good = (not r.low_assoc_small and not r.low_assoc_big
+                          and r.cheap_repartitioning)
+            assert fully_good == (r.code == "FTS")
+
+    def test_matches_paper_cells(self):
+        by_code = {r.code: r for r in build_table()}
+        # Paper Table I: RTS fixes associativity but not repartitioning.
+        assert not by_code["RTS"].low_assoc_small
+        assert not by_code["RTS"].cheap_repartitioning
+        # Tagged-way fixes big sizes only.
+        assert by_code["RTW"].low_assoc_small
+        assert not by_code["RTW"].low_assoc_big
+
+    def test_classify_validation(self):
+        with pytest.raises(ValueError):
+            classify("sorted", True, "set")
+        with pytest.raises(ValueError):
+            classify("filtered", True, "diag")
+
+    def test_render_contains_all_codes(self):
+        text = render_table()
+        for code in ("RUW", "FTS"):
+            assert code in text

@@ -1,0 +1,54 @@
+"""Tests for the package API surface and the experiments CLI."""
+
+import pytest
+
+
+class TestPackageAPI:
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        import repro
+        for name in ("run_single", "run_multicore", "SystemConfig",
+                     "SimResult", "Trace", "quick_compare"):
+            assert hasattr(repro, name)
+
+    def test_memory_exports(self):
+        from repro import memory
+        for name in ("Cache", "DRAM", "CoreHierarchy", "SharedUncore",
+                     "PartitionController", "make_policy"):
+            assert hasattr(memory, name)
+
+    def test_core_exports(self):
+        from repro import core
+        for name in ("StreamlinePrefetcher", "StreamEntry",
+                     "StreamStore", "align", "realign",
+                     "UtilityAwarePartitioner",
+                     "TPMockingjayReplacement"):
+            assert hasattr(core, name)
+
+    def test_prefetcher_exports(self):
+        from repro import prefetchers
+        for name in ("StridePrefetcher", "BertiPrefetcher",
+                     "IPCPPrefetcher", "BingoPrefetcher",
+                     "SPPPrefetcher", "TriagePrefetcher",
+                     "TriangelPrefetcher", "IdealTriage"):
+            assert hasattr(prefetchers, name)
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig99"]) == 2
+
+    def test_runs_analytic_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table1"]) == 0
+        assert "FTS" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for TP-Mockingjay and the stream-store SRRIP policy."""
+
+import pytest
+
+from repro.core.replacement import (SCAN_LEVEL, SRRIPStreamReplacement,
+                                    StoredEntry, TPMockingjayReplacement,
+                                    dequantize, make_stream_replacement,
+                                    quantize)
+from repro.core.stream_entry import StreamEntry
+
+
+def stored(trigger=1, pc=0, length=4):
+    return StoredEntry(StreamEntry(trigger, length, pc=pc))
+
+
+class TestQuantize:
+    def test_log2_levels(self):
+        assert quantize(0) == 0
+        assert quantize(1) == 0
+        assert quantize(2) == 1
+        assert quantize(8) == 3
+        assert quantize(1000) == 7  # saturates at 3 bits
+
+    def test_negative_clamped(self):
+        assert quantize(-5) == 0
+
+    def test_roundtrip_monotone(self):
+        levels = [quantize(d) for d in (1, 4, 16, 64, 300)]
+        assert levels == sorted(levels)
+        assert dequantize(3) == 8
+
+
+class TestSRRIPStream:
+    def test_hit_protects(self):
+        p = SRRIPStreamReplacement()
+        a, b = stored(1), stored(2)
+        p.on_insert(0, 0, a)
+        p.on_insert(0, 1, b)
+        p.on_access(0, 2, a)
+        assert p.victim(0, 3, [a, b]) is b
+
+
+class TestTPMockingjay:
+    def test_reuse_trains_short_prediction(self):
+        p = TPMockingjayReplacement(sample_every=1)
+        for clock in range(0, 40, 2):
+            p.observe_correlation(0, clock, trigger=5, first_target=6,
+                                  pc=0x42)
+        assert p.predict(0x42) < 3  # learned short reuse
+
+    def test_changed_target_is_not_reuse(self):
+        """TP-MIN's defining property: the same trigger with a different
+        target is a *different* correlation."""
+        p = TPMockingjayReplacement(sample_every=1)
+        for clock in range(0, 40, 2):
+            # Target changes every time: never a correlation reuse.
+            p.observe_correlation(0, clock, trigger=5,
+                                  first_target=1000 + clock, pc=0x42)
+        assert p.predict(0x42) >= 3  # no evidence of short reuse
+
+    def test_sampler_overflow_trains_scan(self):
+        p = TPMockingjayReplacement(sample_every=1, sampler_capacity=4)
+        for i in range(64):
+            p.observe_correlation(0, i, trigger=i, first_target=i + 1,
+                                  pc=0x99)
+        assert p.predict(0x99) >= 5  # drifted toward SCAN_LEVEL
+
+    def test_victim_prefers_scan_predicted(self):
+        p = TPMockingjayReplacement(sample_every=1)
+        keeper = stored(1, pc=0x1)
+        scanner = stored(2, pc=0x2)
+        p._pred[__import__("repro.memory.address", fromlist=["fold_hash"])
+                .fold_hash(0x1, 8)] = 0
+        p._pred[__import__("repro.memory.address", fromlist=["fold_hash"])
+                .fold_hash(0x2, 8)] = SCAN_LEVEL
+        p.on_insert(0, 0, keeper)
+        p.on_insert(0, 0, scanner)
+        assert p.victim(0, 1, [keeper, scanner]) is scanner
+
+    def test_overdue_entry_preferred_over_fresh(self):
+        p = TPMockingjayReplacement()
+        fresh = stored(1)
+        overdue = stored(2)
+        p.on_insert(0, 100, fresh)
+        fresh.pred_level = 3       # due at clock 108
+        overdue.pred_level = 0     # was due at clock 1
+        overdue.inserted_clock = 0
+        assert p.victim(0, 100, [fresh, overdue]) is overdue
+
+    def test_unsampled_sets_do_not_train(self):
+        p = TPMockingjayReplacement(sample_every=8)
+        for clock in range(0, 40, 2):
+            p.observe_correlation(3, clock, trigger=5, first_target=6,
+                                  pc=0x42)  # set 3 is not sampled
+        assert p.predict(0x42) == 3  # untouched default
+
+
+def test_factory():
+    assert isinstance(make_stream_replacement("srrip"),
+                      SRRIPStreamReplacement)
+    assert isinstance(make_stream_replacement("tp-mockingjay"),
+                      TPMockingjayReplacement)
+    with pytest.raises(ValueError):
+        make_stream_replacement("optimal")

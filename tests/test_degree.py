@@ -1,0 +1,70 @@
+"""Tests for stability-based degree control (Section IV-E6)."""
+
+import pytest
+
+from repro.core.degree import (FixedDegreeController,
+                               StabilityDegreeController)
+from repro.core.training_unit import PCEntry
+
+
+class TestThresholds:
+    def test_paper_thresholds_at_paper_epoch(self):
+        c = StabilityDegreeController(epoch=1024)
+        assert c.degree_for(0) == 4
+        assert c.degree_for(399) == 4
+        assert c.degree_for(400) == 3
+        assert c.degree_for(599) == 3
+        assert c.degree_for(600) == 2
+        assert c.degree_for(799) == 2
+        assert c.degree_for(800) == 1
+        assert c.degree_for(1024) == 1
+
+    def test_thresholds_scale_with_epoch(self):
+        c = StabilityDegreeController(epoch=512)
+        assert c.degree_for(199) == 4    # 400 * 512/1024 = 200
+        assert c.degree_for(200) == 3
+
+    def test_max_degree_caps(self):
+        c = StabilityDegreeController(max_degree=2)
+        assert c.degree_for(0) == 2
+
+    def test_stable_pc_hits_buffer_three_quarters(self):
+        """The paper's motivating arithmetic: a stable stream-length-4 PC
+        inserts once per 4 accesses = 256/1024 < 400 -> degree 4."""
+        c = StabilityDegreeController(epoch=1024)
+        assert c.degree_for(1024 // 4) == 4
+
+
+class TestEpoching:
+    def test_degree_updates_at_epoch_boundary(self):
+        c = StabilityDegreeController(epoch=10)
+        st = PCEntry(1)
+        st.epoch_insertions = 9   # very unstable for a 10-access epoch
+        for _ in range(9):
+            assert c.on_access(st) == 1  # initial degree
+        assert c.on_access(st) == 1      # boundary: recomputed -> 1
+        assert st.epoch_insertions == 0  # counters reset
+
+    def test_stable_pc_reaches_degree_four(self):
+        c = StabilityDegreeController(epoch=8)
+        st = PCEntry(1)
+        for i in range(8):
+            if i % 4 == 0:
+                st.epoch_insertions += 1
+            c.on_access(st)
+        assert st.degree == 4
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            StabilityDegreeController(epoch=0)
+
+
+class TestFixed:
+    def test_constant(self):
+        c = FixedDegreeController(3)
+        st = PCEntry(1)
+        assert all(c.on_access(st) == 3 for _ in range(5))
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            FixedDegreeController(0)

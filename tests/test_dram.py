@@ -1,0 +1,67 @@
+"""Unit tests for the DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+
+
+def test_idle_latency_is_base_plus_service():
+    d = DRAM(channels=1, base_latency=100.0)
+    lat = d.access(0, now=0.0)
+    assert lat == pytest.approx(100.0 + d.service_cycles)
+
+
+def test_back_to_back_queues():
+    d = DRAM(channels=1)
+    first = d.access(0, now=0.0)
+    second = d.access(1, now=0.0)  # same channel, still busy
+    assert second > first
+
+
+def test_channels_interleave_by_block():
+    d = DRAM(channels=2)
+    lat0 = d.access(0, now=0.0)
+    lat1 = d.access(1, now=0.0)  # different channel: no queueing
+    assert lat0 == pytest.approx(lat1)
+
+
+def test_more_channels_less_queueing():
+    def total(channels):
+        d = DRAM(channels=channels)
+        return sum(d.access(i, 0.0) for i in range(16))
+    assert total(4) < total(1)
+
+
+def test_bandwidth_scale_slows_service():
+    fast = DRAM(bandwidth_scale=2.0)
+    slow = DRAM(bandwidth_scale=0.5)
+    assert slow.service_cycles > fast.service_cycles
+
+
+def test_writes_are_off_critical_path_but_occupy():
+    d = DRAM(channels=1)
+    assert d.access(0, 0.0, is_write=True) == 0.0
+    # ...but the channel was used, so a read right after queues.
+    lat = d.access(2, 0.0)
+    assert lat > d.base_latency + d.service_cycles - 1e-9
+    assert d.stats.writes == 1 and d.stats.reads == 1
+
+
+def test_prefetch_reads_counted():
+    d = DRAM()
+    d.access(0, 0.0, is_prefetch=True)
+    assert d.stats.prefetch_reads == 1
+
+
+def test_stats_bytes():
+    d = DRAM()
+    d.access(0, 0.0)
+    d.access(1, 0.0, is_write=True)
+    assert d.stats.bytes_transferred == 128
+
+
+def test_rejects_bad_params():
+    with pytest.raises(ValueError):
+        DRAM(channels=0)
+    with pytest.raises(ValueError):
+        DRAM(bandwidth_scale=0)

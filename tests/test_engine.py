@@ -1,0 +1,128 @@
+"""Tests for the timing-proxy core model and the single-core engine."""
+
+import pytest
+
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.engine import CoreModel, run_single
+from repro.sim.trace import TraceBuilder
+
+from conftest import chase_trace
+
+
+def stream_trace(n=2000, stride=64):
+    b = TraceBuilder("stream")
+    for i in range(n):
+        b.add(0x400, 0x10000000 + i * stride, gap=2)
+    return b.build()
+
+
+class TestCoreModel:
+    def cfg(self, **kw):
+        return SystemConfig().scaled(**kw) if kw else SystemConfig()
+
+    def test_advance_throughput(self):
+        m = CoreModel(self.cfg())
+        m.advance(5)  # 6 instructions at width 6 = 1 cycle
+        assert m.clock == pytest.approx(1.0)
+        assert m.instrs == 6
+
+    def test_mlp_limits_overlap(self):
+        m = CoreModel(self.cfg(mlp=2))
+        for _ in range(3):
+            issue = m.issue_time(False)
+            m.complete_access(issue, 100.0, False)
+        # Third load had to wait for the first to complete.
+        assert m.clock >= 100.0
+
+    def test_independent_loads_overlap(self):
+        m = CoreModel(self.cfg(mlp=16))
+        for _ in range(4):
+            m.advance(0)
+            issue = m.issue_time(False)
+            m.complete_access(issue, 100.0, False)
+        m.drain()
+        assert m.clock < 200.0  # overlapped, not 400
+
+    def test_dep_loads_serialize(self):
+        m = CoreModel(self.cfg(mlp=16))
+        for _ in range(4):
+            m.advance(0)
+            issue = m.issue_time(True)
+            m.complete_access(issue, 100.0, False)
+        m.drain()
+        assert m.clock >= 400.0  # fully serial chain
+
+    def test_stores_do_not_block(self):
+        m = CoreModel(self.cfg(mlp=1))
+        for _ in range(10):
+            issue = m.issue_time(False)
+            m.complete_access(issue, 500.0, True)
+        assert m.clock < 10.0
+
+    def test_rob_backpressure(self):
+        cfg = self.cfg(rob_size=8, mlp=64)
+        m = CoreModel(cfg)
+        m.advance(0)
+        m.complete_access(m.issue_time(False), 1000.0, False)
+        # Dispatch far more than the ROB can hold past the stalled load.
+        for _ in range(5):
+            m.advance(5)
+        assert m.clock >= 1000.0
+
+    def test_drain_waits_for_all(self):
+        m = CoreModel(self.cfg())
+        m.complete_access(0.0, 123.0, False)
+        assert m.drain() >= 123.0
+
+
+class TestRunSingle:
+    def test_deterministic(self, tiny_config, chase):
+        a = run_single(chase, tiny_config)
+        b = run_single(chase, tiny_config)
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc
+
+    def test_ipc_positive_and_bounded(self, tiny_config, chase):
+        r = run_single(chase, tiny_config)
+        assert 0 < r.ipc <= tiny_config.commit_width
+
+    def test_stride_prefetcher_speeds_up_stream(self, tiny_config):
+        t = stream_trace(stride=256)  # 4-block stride: every access misses
+        base = run_single(t, tiny_config)
+        pf = run_single(t, tiny_config, l1_prefetcher=StridePrefetcher)
+        assert pf.ipc > base.ipc
+        assert pf.prefetchers[0].useful > 0
+
+    def test_stride_prefetcher_useless_on_chase(self, tiny_config, chase):
+        r = run_single(chase, tiny_config,
+                       l1_prefetcher=StridePrefetcher)
+        assert r.prefetchers[0].issued == 0
+
+    def test_warmup_excluded_from_stats(self, tiny_config, chase):
+        r = run_single(chase, tiny_config)
+        warm = int(len(chase) * tiny_config.warmup_fraction)
+        assert r.accesses == len(chase) - warm
+        assert r.instructions < chase.instructions
+
+    def test_multicore_config_coerced_to_one_core(self, chase):
+        cfg = SystemConfig(num_cores=4).scaled_down(8)
+        r = run_single(chase, cfg)
+        assert r.ipc > 0
+
+    def test_result_fields_populated(self, tiny_config, chase):
+        r = run_single(chase, tiny_config)
+        assert r.workload == chase.name
+        assert r.cycles > 0
+        assert 0 <= r.l1d_miss_rate <= 1
+        assert r.llc_mpki >= 0
+        assert r.uncovered_misses > 0  # chase misses a lot
+
+
+class TestDepTiming:
+    def test_dep_chase_slower_than_independent(self, tiny_config):
+        dep = chase_trace(dep=True)
+        indep = chase_trace(dep=False)
+        r_dep = run_single(dep, tiny_config)
+        r_ind = run_single(indep, tiny_config)
+        assert r_dep.ipc < r_ind.ipc

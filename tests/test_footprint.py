@@ -1,0 +1,72 @@
+"""Tests for the trace-characterization analyses."""
+
+import pytest
+
+from repro.analysis.footprint import (MetadataDemand, characterize,
+                                      metadata_demand)
+from repro.sim.trace import TraceBuilder
+from repro.workloads import make
+
+from conftest import chase_trace
+
+
+def stride_trace(n=1000):
+    b = TraceBuilder("s")
+    for i in range(n):
+        b.add(0x1, i * 64, gap=2)
+    return b.build()
+
+
+class TestCharacterize:
+    def test_stride_is_regular(self):
+        p = characterize(stride_trace())
+        assert p.irregular_fraction < 0.05
+        assert p.dependent_fraction == 0.0
+        assert p.footprint_blocks == 1000
+
+    def test_chase_is_irregular_and_dependent(self):
+        p = characterize(chase_trace(n=4000, nodes=1024))
+        assert p.irregular_fraction > 0.8
+        assert p.dependent_fraction == 1.0
+
+    def test_reuse_distance_matches_period(self):
+        p = characterize(chase_trace(n=8000, nodes=1024))
+        assert 900 < p.median_reuse_distance < 1100
+
+    def test_no_reuse_is_infinite(self):
+        p = characterize(stride_trace())
+        assert p.median_reuse_distance == float("inf")
+
+    def test_footprint_bytes(self):
+        p = characterize(stride_trace(100))
+        assert p.footprint_bytes == 100 * 64
+
+
+class TestMetadataDemand:
+    def test_chase_demand_counts(self):
+        t = chase_trace(n=2048, nodes=512)  # 4 exact laps
+        d = metadata_demand(t, stream_length=4)
+        # One pair per consecutive node pair: 512 distinct (cyclic).
+        assert d.pairwise_correlations == 512
+        # One entry per 4 accesses: 512/4 = 128 windows per lap.
+        assert d.stream_entries in (128, 129)  # tail window may add one
+
+    def test_capacity_advantage_near_four_thirds(self):
+        t = chase_trace(n=4096, nodes=1024)
+        d = metadata_demand(t, stream_length=4)
+        assert d.capacity_advantage == pytest.approx(4 / 3, rel=0.1)
+
+    def test_blocks_arithmetic(self):
+        d = MetadataDemand(pairwise_correlations=24, stream_entries=6,
+                           stream_correlations=24, stream_length=4)
+        assert d.pairwise_blocks == 2   # 24/12
+        assert d.stream_blocks == 2     # 6/4 -> ceil = 2
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            metadata_demand(stride_trace(), stream_length=7)
+
+    def test_works_on_suite_workload(self):
+        d = metadata_demand(make("gap.pr", 3000), stream_length=4)
+        assert d.pairwise_correlations > 0
+        assert d.stream_correlations > 0

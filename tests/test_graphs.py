@@ -1,0 +1,101 @@
+"""Tests for the R-MAT graph substrate and algorithm-driven traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (CSRGraph, bfs_trace, cc_trace,
+                                    pagerank_trace, rmat_graph)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(vertices=256, edges_per_vertex=4, seed=1)
+
+
+class TestRMAT:
+    def test_geometry(self, graph):
+        assert graph.num_vertices == 256
+        assert graph.num_edges == 256 * 4
+        assert graph.offsets[0] == 0
+        assert graph.offsets[-1] == graph.num_edges
+
+    def test_offsets_monotone(self, graph):
+        assert (np.diff(graph.offsets) >= 0).all()
+
+    def test_edges_in_range(self, graph):
+        assert (graph.edges >= 0).all()
+        assert (graph.edges < graph.num_vertices).all()
+
+    def test_deterministic(self):
+        a = rmat_graph(vertices=128, seed=7)
+        b = rmat_graph(vertices=128, seed=7)
+        assert (a.edges == b.edges).all()
+
+    def test_power_law_skew(self, graph):
+        """R-MAT graphs are skewed: the hottest vertex has far more than
+        the average degree."""
+        degrees = np.diff(graph.offsets)
+        assert degrees.max() >= 3 * degrees.mean()
+
+    def test_neighbours_and_degree(self, graph):
+        v = int(np.argmax(np.diff(graph.offsets)))
+        assert len(graph.neighbours(v)) == graph.degree(v)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            rmat_graph(vertices=100)
+
+
+class TestKernelTraces:
+    def test_pagerank_repeats_across_iterations(self, graph):
+        t = pagerank_trace(graph, iterations=2)
+        blocks = (t.addrs >> 6).tolist()
+        period = len(blocks) // 2
+        assert blocks[:period] == blocks[period:]
+
+    def test_pagerank_gathers_are_dependent(self, graph):
+        t = pagerank_trace(graph, iterations=1)
+        # Property gathers (dep) dominate the access count.
+        assert t.deps.sum() > len(t) * 0.4
+
+    def test_bfs_visits_reachable_component(self, graph):
+        t = bfs_trace(graph, restarts=1)
+        assert len(t) > graph.num_vertices  # traversed edges too
+
+    def test_bfs_restarts_differ(self, graph):
+        one = bfs_trace(graph, restarts=1)
+        four = bfs_trace(graph, restarts=4)
+        assert len(four) > len(one)
+
+    def test_cc_converges(self, graph):
+        t = cc_trace(graph, max_iterations=50)
+        # Convergence long before 50 sweeps: trace far below the bound.
+        upper = 50 * (graph.num_vertices + graph.num_edges) * 3
+        assert len(t) < upper
+
+    def test_max_accesses_truncates(self, graph):
+        t = pagerank_trace(graph, iterations=10, max_accesses=500)
+        # The bound is checked after each gather; the handful of offset
+        # and edge-list loads in between may overshoot slightly.
+        assert len(t) <= 510
+
+    def test_regions_disjoint(self, graph):
+        t = pagerank_trace(graph, iterations=1)
+        regions = set((t.addrs >> 32).tolist())
+        assert len(regions) >= 3  # offsets, edges, properties
+
+
+class TestTemporalPrefetchability:
+    def test_streamline_covers_pagerank(self):
+        from repro.core.streamline import StreamlinePrefetcher
+        from repro.prefetchers.stride import StridePrefetcher
+        from repro.sim.config import SystemConfig
+        from repro.sim.engine import run_single
+        g = rmat_graph(vertices=1024, edges_per_vertex=6, seed=2)
+        trace = pagerank_trace(g, iterations=4)
+        cfg = SystemConfig().scaled_down(8)
+        res = run_single(trace, cfg, l1_prefetcher=StridePrefetcher,
+                         l2_prefetchers=[StreamlinePrefetcher])
+        tp = res.temporal
+        assert tp.coverage > 0.2
+        assert tp.accuracy > 0.5

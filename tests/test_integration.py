@@ -1,0 +1,78 @@
+"""End-to-end integration: the paper's headline claims at test scale."""
+
+import pytest
+
+from repro import quick_compare
+from repro.core.streamline import StreamlinePrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.engine import run_single
+from repro.workloads import make
+
+from conftest import chase_trace
+
+
+@pytest.fixture(scope="module")
+def headline(request):
+    """One shared three-way run on an irregular workload."""
+    from repro.sim.config import SystemConfig
+    cfg = SystemConfig().scaled_down(4)
+    trace = make("06.omnetpp", 40_000)
+    base = run_single(trace, cfg, l1_prefetcher=StridePrefetcher)
+    tri = run_single(trace, cfg, l1_prefetcher=StridePrefetcher,
+                     l2_prefetchers=[TriangelPrefetcher])
+    sl = run_single(trace, cfg, l1_prefetcher=StridePrefetcher,
+                    l2_prefetchers=[StreamlinePrefetcher])
+    return base, tri, sl
+
+
+class TestHeadlineClaims:
+    def test_both_beat_baseline_on_irregular(self, headline):
+        base, tri, sl = headline
+        assert tri.ipc > base.ipc
+        assert sl.ipc > base.ipc
+
+    def test_streamline_beats_triangel(self, headline):
+        base, tri, sl = headline
+        assert sl.ipc > tri.ipc
+
+    def test_streamline_has_more_coverage(self, headline):
+        _, tri, sl = headline
+        assert sl.temporal.coverage > tri.temporal.coverage
+
+    def test_streamline_accuracy_not_worse(self, headline):
+        _, tri, sl = headline
+        assert sl.temporal.accuracy >= tri.temporal.accuracy - 0.02
+
+    def test_streamline_less_metadata_traffic(self, headline):
+        _, tri, sl = headline
+        assert sl.temporal.metadata_traffic_bytes < \
+            tri.temporal.metadata_traffic_bytes
+
+    def test_streamline_never_pays_rearrangement(self, headline):
+        _, tri, sl = headline
+        assert sl.temporal.metadata_rearrange_moves == 0
+
+
+class TestQuickCompare:
+    def test_quick_compare_api(self):
+        out = quick_compare("gap.pr", n=6000)
+        assert set(out) == {"baseline", "triangel", "streamline"}
+        assert all(r.ipc > 0 for r in out.values())
+
+
+class TestStorageEfficiency:
+    def test_half_size_streamline_matches_full_triangel(self, small_config):
+        """Fig 13a's headline at test scale."""
+        trace = chase_trace(nodes=8192, n=24_000)
+        base = run_single(trace, small_config,
+                          l1_prefetcher=StridePrefetcher)
+        sl_half = run_single(
+            trace, small_config, l1_prefetcher=StridePrefetcher,
+            l2_prefetchers=[lambda: StreamlinePrefetcher(
+                dynamic=False, initial_every_nth=2)])
+        tri_full = run_single(
+            trace, small_config, l1_prefetcher=StridePrefetcher,
+            l2_prefetchers=[lambda: TriangelPrefetcher(
+                initial_ways=8, adaptive=False)])
+        assert sl_half.ipc / base.ipc >= tri_full.ipc / base.ipc - 0.05

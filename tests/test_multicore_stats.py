@@ -1,0 +1,117 @@
+"""Tests for the multi-core engine and the stats helpers."""
+
+import pytest
+
+from repro.core.streamline import StreamlinePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import CHANNELS_BY_CORES, SystemConfig
+from repro.sim.engine import run_single
+from repro.sim.multicore import run_multicore
+from repro.sim.stats import (PrefetchReport, SimResult, format_table,
+                             geomean, geomean_speedup, speedup)
+
+from conftest import chase_trace
+
+
+class TestMulticore:
+    def test_two_cores_run_and_interfere(self, tiny_config):
+        # Pin the channel count so solo and shared runs see the same
+        # DRAM (the default scales channels with the core count).
+        # Pin channels AND give the solo run the duo's total LLC, so the
+        # only difference is the second core's interference.
+        cfg = tiny_config.scaled(dram_channels=2)
+        solo_cfg = cfg.scaled(
+            llc_size_per_core=2 * cfg.llc_size_per_core)
+        traces = [chase_trace("a", seed=1, n=4000),
+                  chase_trace("b", seed=2, n=4000)]
+        solo = run_single(traces[0], solo_cfg)
+        duo = run_multicore(traces, cfg)
+        assert len(duo.cores) == 2
+        # Contention cannot make a core faster than running alone.
+        assert duo.cores[0].ipc <= solo.ipc * 1.05
+
+    def test_deterministic(self, tiny_config):
+        traces = [chase_trace("a", seed=1, n=3000),
+                  chase_trace("b", seed=2, n=3000)]
+        x = run_multicore(traces, tiny_config)
+        y = run_multicore(traces, tiny_config)
+        assert [c.cycles for c in x.cores] == [c.cycles for c in y.cores]
+
+    def test_weighted_speedup(self, tiny_config):
+        traces = [chase_trace("a", seed=1, n=3000)]
+        solo = run_single(traces[0], tiny_config)
+        mc = run_multicore(traces, tiny_config)
+        ws = mc.weighted_speedup([solo])
+        assert 0 < ws <= 1.05
+
+    def test_per_core_metadata_stripes_coexist(self, tiny_config):
+        """Two Streamline instances must partition disjoint LLC sets."""
+        traces = [chase_trace("a", seed=1, n=3000),
+                  chase_trace("b", seed=2, n=3000)]
+        mc = run_multicore(traces, tiny_config,
+                           l2_prefetchers=[StreamlinePrefetcher])
+        for core in mc.cores:
+            tp = core.temporal
+            assert tp is not None and tp.issued >= 0
+
+    def test_mixed_prefetchers_per_run(self, tiny_config):
+        traces = [chase_trace("a", seed=1, n=3000),
+                  chase_trace("b", seed=2, n=3000)]
+        mc = run_multicore(traces, tiny_config,
+                           l2_prefetchers=[TriangelPrefetcher])
+        assert all(c.temporal is not None for c in mc.cores)
+
+    def test_empty_traces_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_multicore([], tiny_config)
+
+    def test_channels_scale_with_cores(self):
+        assert CHANNELS_BY_CORES[1] == 1
+        assert CHANNELS_BY_CORES[8] == 4
+        assert SystemConfig(num_cores=8).channels == 4
+        assert SystemConfig(dram_channels=3).channels == 3
+
+
+class TestStatsHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 1.0
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_speedup_requires_same_workload(self):
+        a = SimResult("x", cycles=100, instructions=1000, accesses=10)
+        b = SimResult("y", cycles=200, instructions=1000, accesses=10)
+        with pytest.raises(ValueError):
+            speedup(a, b)
+
+    def test_speedup_value(self):
+        a = SimResult("x", cycles=100, instructions=1000, accesses=10)
+        b = SimResult("x", cycles=200, instructions=1000, accesses=10)
+        assert speedup(a, b) == pytest.approx(2.0)
+
+    def test_geomean_speedup_pairs(self):
+        a = [SimResult("x", 100, 1000, 1), SimResult("y", 100, 1000, 1)]
+        b = [SimResult("x", 200, 1000, 1), SimResult("y", 50, 1000, 1)]
+        assert geomean_speedup(a, b) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            geomean_speedup(a, b[:1])
+
+    def test_prefetch_report_traffic(self):
+        r = PrefetchReport("t", metadata_reads=2, metadata_writes=3,
+                           metadata_rearrange_moves=1)
+        assert r.metadata_traffic_bytes == 64 * (2 + 3 + 2)
+
+    def test_temporal_report_selection(self):
+        r = SimResult("x", 1, 1, 1, prefetchers=[
+            PrefetchReport("ip-stride"), PrefetchReport("streamline")])
+        assert r.temporal.name == "streamline"
+        r2 = SimResult("x", 1, 1, 1,
+                       prefetchers=[PrefetchReport("ip-stride")])
+        assert r2.temporal is None
+
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines if l.strip())) <= 2

@@ -1,0 +1,145 @@
+"""Tests for the pairwise metadata store (Triage/Triangel substrate)."""
+
+import pytest
+
+from repro.memory.metadata_store import PartitionController
+from repro.prefetchers.pairwise import (PairwiseStore, TargetLUT,
+                                        TrainingUnit)
+
+
+def make_store(sets=64, **kwargs):
+    ctl = PartitionController(None, max_bytes=sets * 8 * 64)
+    initial_ways = kwargs.pop("initial_ways", 4)
+    defaults = dict(entries_per_block=12, max_ways=8, mrb_blocks=0,
+                    compressed=False)
+    defaults.update(kwargs)
+    store = PairwiseStore(sets, ctl, **defaults)
+    store.resize(initial_ways)
+    return store, ctl
+
+
+class TestLUT:
+    def test_encode_decode_roundtrip(self):
+        lut = TargetLUT()
+        slot, off = lut.encode(0x123456)
+        assert lut.decode(slot, off) == 0x123456
+
+    def test_slot_reuse_corrupts_old_entries(self):
+        """The documented Triage accuracy loss: replaced LUT regions make
+        stale entries decode into the new region."""
+        lut = TargetLUT()
+        slot, off = lut.encode(0x123456)
+        # Exhaust all 1024 slots with fresh regions.
+        for i in range(TargetLUT.SLOTS + 1):
+            lut.encode((0x1000 + i) << TargetLUT.OFFSET_BITS)
+        decoded = lut.decode(slot, off)
+        assert decoded is not None and decoded != 0x123456
+        assert lut.replacements > 0
+
+
+class TestStore:
+    def test_insert_lookup(self):
+        store, _ = make_store()
+        store.insert(100, 200)
+        assert store.lookup(100) == 200
+
+    def test_confidence_bit_protects_target(self):
+        """Triage's update rule: first disagreement clears conf, the
+        second replaces."""
+        store, _ = make_store()
+        store.insert(100, 200)
+        store.insert(100, 200)   # conf = 1
+        store.insert(100, 999)   # conf cleared, target kept
+        assert store.lookup(100) == 200
+        store.insert(100, 999)   # now replaced
+        assert store.lookup(100) == 999
+
+    def test_zero_ways_stores_nothing(self):
+        store, _ = make_store()
+        store.resize(0)
+        store.insert(100, 200)
+        assert store.lookup(100) is None
+
+    def test_block_overflow_evicts(self):
+        store, _ = make_store(sets=1, entries_per_block=2, initial_ways=1)
+        # All triggers map to set 0 / way 0: third insert evicts.
+        seen = []
+        for t in range(3):
+            store.insert(t, t + 1000)
+        assert store.valid_entries() <= 2
+
+    def test_compressed_store_roundtrip(self):
+        store, _ = make_store(compressed=True, entries_per_block=16)
+        store.insert(100, 12345)
+        assert store.lookup(100) == 12345
+
+
+class TestResize:
+    def test_rearranged_entries_still_found(self):
+        store, ctl = make_store(sets=64, initial_ways=8)
+        triggers = list(range(0, 4000, 7))
+        for t in triggers:
+            store.insert(t, t + 1)
+        store.resize(3)
+        found = sum(store.lookup(t) == t + 1 for t in triggers)
+        assert found > len(triggers) * 0.5
+
+    def test_rearrangement_traffic_charged(self):
+        store, ctl = make_store(sets=64, initial_ways=8)
+        for t in range(0, 4000, 7):
+            store.insert(t, t + 1)
+        moved = store.resize(3)
+        assert moved > 0
+        assert ctl.traffic.rearrange_moves == moved
+
+    def test_unrearranged_resize_drops_misplaced(self):
+        store, ctl = make_store(sets=64, initial_ways=8)
+        for t in range(0, 4000, 7):
+            store.insert(t, t + 1)
+        before = store.valid_entries()
+        store.resize(3, rearrange=False)
+        assert store.valid_entries() < before
+        assert ctl.traffic.rearrange_moves == 0
+
+    def test_resize_bounds(self):
+        store, _ = make_store()
+        with pytest.raises(ValueError):
+            store.resize(9)
+
+
+class TestMRB:
+    def test_mrb_absorbs_repeated_reads(self):
+        with_mrb, ctl_a = make_store(mrb_blocks=32)
+        without, ctl_b = make_store(mrb_blocks=0)
+        for store in (with_mrb, without):
+            store.insert(100, 200)
+        for store in (with_mrb, without):
+            for _ in range(10):
+                store.lookup(100)
+        assert ctl_a.traffic.reads < ctl_b.traffic.reads
+
+    def test_mrb_coalesces_writes(self):
+        with_mrb, ctl_a = make_store(mrb_blocks=32)
+        without, ctl_b = make_store(mrb_blocks=0)
+        for store in (with_mrb, without):
+            for i in range(10):
+                store.insert(100, 200 + i)  # same block, changing target
+        with_mrb.flush_mrb()
+        assert ctl_a.traffic.writes < ctl_b.traffic.writes
+
+
+class TestTrainingUnit:
+    def test_returns_previous_history(self):
+        tu = TrainingUnit(size=4, depth=2)
+        assert tu.update(1, 10) == []
+        assert tu.update(1, 11) == [10]
+        assert tu.update(1, 12) == [11, 10]
+        assert tu.update(1, 13) == [12, 11]  # depth capped
+
+    def test_lru_eviction(self):
+        tu = TrainingUnit(size=2)
+        tu.update(1, 10)
+        tu.update(2, 20)
+        tu.update(1, 11)  # touch 1
+        tu.update(3, 30)  # evicts 2
+        assert tu.update(2, 21) == []  # 2 was forgotten

@@ -1,0 +1,130 @@
+"""Tests for utility-aware dynamic partitioning (Section IV-D2/E4)."""
+
+import pytest
+
+from repro.core.partitioner import (ACCURACY_SCORES, DATA_HIT_SCORE,
+                                    UtilityAwarePartitioner,
+                                    accuracy_score)
+
+
+def make(llc_sets=256, **kwargs):
+    defaults = dict(llc_ways=16, meta_ways=8, epoch=100,
+                    permanent_every=8)
+    defaults.update(kwargs)
+    return UtilityAwarePartitioner(llc_sets, **defaults)
+
+
+class TestAccuracyScore:
+    def test_paper_bands(self):
+        assert accuracy_score(0.99) == 8
+        assert accuracy_score(0.92) == 7
+        assert accuracy_score(0.80) == 6
+        assert accuracy_score(0.60) == 4
+        assert accuracy_score(0.30) == 3
+        assert accuracy_score(0.15) == 2
+        assert accuracy_score(0.05) == 1
+
+    def test_bands_monotone(self):
+        scores = [accuracy_score(a / 100) for a in range(0, 101, 5)]
+        assert scores == sorted(scores)
+
+
+class TestObservations:
+    def test_data_hits_favor_no_partition_under_pressure(self):
+        """Blocks at stack distance 8..15 hit only without metadata."""
+        p = make()
+        set_idx = 1  # a sampled set
+        blocks = [set_idx + i * 256 for i in range(12)]
+        for _ in range(8):
+            for blk in blocks:  # distance 11 on reuse
+                p.observe_data(blk)
+        assert p.scores[0] > p.scores[1]
+
+    def test_short_distance_hits_count_everywhere(self):
+        p = make()
+        blk = 1  # sampled set
+        for _ in range(10):
+            p.observe_data(blk)
+        # Distance 0 hits at every size (even with metadata allocated).
+        assert p.scores[0] == p.scores[2] == p.scores[1] > 0
+
+    def test_metadata_hits_scale_with_unfiltered_fraction(self):
+        p = make()
+        p.observe_metadata_hit(0, accuracy=1.0)
+        assert p.scores[1] == pytest.approx(2 * p.scores[2])
+        assert p.scores[2] == pytest.approx(4 * p.scores[0])
+
+    def test_equal_weights_uses_data_score(self):
+        p = make(equal_weights=True)
+        p.observe_metadata_hit(0, accuracy=0.01)
+        q = make(equal_weights=False)
+        q.observe_metadata_hit(0, accuracy=0.01)
+        assert p.scores[1] > q.scores[1]
+
+    def test_correlations_per_hit_multiplier(self):
+        p = make(correlations_per_hit=4)
+        q = make(correlations_per_hit=1)
+        p.observe_metadata_hit(0, accuracy=1.0)
+        q.observe_metadata_hit(0, accuracy=1.0)
+        assert p.scores[1] == pytest.approx(4 * q.scores[1])
+
+    def test_unsampled_sets_ignored_for_data(self):
+        p = make()
+        for _ in range(10):
+            p.observe_data(4)  # set 4: not in SAMPLE_OFFSETS mod 8
+        assert all(v == 0 for v in p.scores.values())
+
+
+class TestDecide:
+    def test_metadata_heavy_epoch_picks_full(self):
+        p = make()
+        for _ in range(50):
+            p.observe_metadata_hit(0, accuracy=1.0)
+        assert p.decide(current=1) == 1
+
+    def test_data_heavy_epoch_shrinks_one_rung(self):
+        p = make()
+        set_idx = 1
+        blocks = [set_idx + i * 256 for i in range(12)]
+        for _ in range(20):
+            for blk in blocks:
+                p.observe_data(blk)
+        # Resizes move one rung per epoch: full -> half first ...
+        assert p.decide(current=1) == 2
+        # ... and with pressure on an even (half-size-allocated) sampled
+        # set, half -> none on the next epoch.
+        blocks = [2 + i * 256 for i in range(12)]
+        for _ in range(20):
+            for blk in blocks:
+                p.observe_data(blk)
+        assert p.decide(current=2) == 0
+
+    def test_tie_keeps_current(self):
+        p = make()
+        assert p.decide(current=2) == 2
+
+    def test_hysteresis_blocks_marginal_challenger(self):
+        p = make()
+        p.scores[0] = 100.0
+        p.scores[1] = 95.0
+        # 100 < 1.5 * 95: shrinking needs a decisive win.
+        assert p.decide(current=1, hysteresis=1.10) == 1
+        p.scores[0] = 200.0
+        p.scores[1] = 95.0
+        # Decisive, but resizes are gradual: one rung toward 0.
+        assert p.decide(current=1, hysteresis=1.10) == 2
+
+    def test_decide_resets_epoch(self):
+        p = make(epoch=5)
+        for _ in range(5):
+            p.observe_metadata_hit(0, 1.0)
+        assert p.epoch_elapsed
+        p.decide(current=1)
+        assert not p.epoch_elapsed
+        assert all(v == 0 for v in p.scores.values())
+
+    def test_decisions_recorded(self):
+        p = make()
+        p.decide(current=1)
+        p.decide(current=1)
+        assert len(p.decisions) == 2

@@ -1,0 +1,103 @@
+"""Hypothesis property tests on the core data-structure invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata_store import StreamStore
+from repro.core.replacement import make_stream_replacement
+from repro.core.stream_entry import StreamEntry
+from repro.memory.metadata_store import PartitionController
+from repro.prefetchers.pairwise import PairwiseStore
+from repro.sim.config import SystemConfig
+from repro.sim.engine import CoreModel
+
+# An operation is (op, trigger): op 0 = insert, 1 = lookup, 2+ = resize.
+ops = st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                         st.integers(min_value=0, max_value=4000)),
+               min_size=1, max_size=300)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops)
+def test_stream_store_invariants(operations):
+    ctl = PartitionController(None, 1 << 20)
+    store = StreamStore(32, ctl, stream_length=4, meta_ways=2,
+                        replacement=make_stream_replacement("srrip"),
+                        permanent_sets=4)
+    sizes = [1, 2, 4, 0]
+    for op, trigger in operations:
+        if op == 0:
+            store.insert(StreamEntry(trigger, 4,
+                                     [trigger + 1, trigger + 2]))
+        elif op == 1:
+            store.lookup(trigger)
+        else:
+            store.set_partition(every_nth=sizes[trigger % 4])
+        # Invariant 1: no pool ever exceeds its capacity.
+        for pool in store._sets.values():
+            assert len(pool) <= store._pool_capacity()
+        # Invariant 2: every resident entry lives in an allocated set.
+        for (set_idx, _), pool in store._sets.items():
+            if pool:
+                assert store.is_allocated(set_idx)
+    # Invariant 3: traffic counters are consistent with activity.
+    assert ctl.traffic.reads == store.stats.hits
+    assert ctl.traffic.rearrange_moves == 0  # filtered indexing
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops)
+def test_pairwise_store_invariants(operations):
+    ctl = PartitionController(None, 1 << 20)
+    store = PairwiseStore(32, ctl, entries_per_block=4, max_ways=4)
+    store.resize(2)
+    for op, trigger in operations:
+        if op == 0:
+            store.insert(trigger, trigger + 1)
+        elif op == 1:
+            store.lookup(trigger)
+        else:
+            store.resize(1 + trigger % 4)
+        for block in store._blocks.values():
+            assert len(block) <= store.entries_per_block
+        for (set_idx, way) in store._blocks:
+            assert 0 <= set_idx < 32
+            assert 0 <= way < store.ways
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=20),
+                          st.floats(min_value=0, max_value=500),
+                          st.booleans(), st.booleans()),
+                min_size=1, max_size=200))
+def test_core_model_clock_monotone(steps):
+    """The clock never goes backwards, whatever the access pattern."""
+    m = CoreModel(SystemConfig())
+    last = 0.0
+    for gap, latency, is_write, dep in steps:
+        m.advance(gap)
+        issue = m.issue_time(dep)
+        assert issue >= 0
+        m.complete_access(issue, latency, is_write)
+        assert m.clock >= last - 1e-9
+        last = m.clock
+    assert m.drain() >= last - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=40),
+       st.integers(min_value=0, max_value=100))
+def test_engine_cycles_scale_with_trace(nodes, seed):
+    """A longer prefix of the same trace never takes fewer cycles."""
+    from repro.sim.engine import run_single
+    from repro.sim.trace import TraceBuilder
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder("t")
+    for i in range(200):
+        b.add(0x1, int(rng.integers(0, nodes)) * 64, gap=2)
+    trace = b.build()
+    cfg = SystemConfig().scaled_down(8).scaled(warmup_fraction=0.0)
+    short = run_single(trace.slice(0, 100), cfg)
+    full = run_single(trace, cfg)
+    assert full.cycles >= short.cycles - 1e-6

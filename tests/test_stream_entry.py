@@ -1,0 +1,95 @@
+"""Unit tests for stream-based metadata entries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stream_entry import (ENTRIES_PER_BLOCK, StreamEntry,
+                                     correlations_per_block)
+
+
+class TestPacking:
+    def test_paper_packing_arithmetic(self):
+        # Figure 12a: lengths 2/3/5 hold 14/15/15; 4/8/16 hold 16.
+        assert correlations_per_block(2) == 14
+        assert correlations_per_block(3) == 15
+        assert correlations_per_block(4) == 16
+        assert correlations_per_block(5) == 15
+        assert correlations_per_block(8) == 16
+        assert correlations_per_block(16) == 16
+
+    def test_length_four_beats_pairwise_by_a_third(self):
+        # The paper's headline: 16 vs 12 correlations per block = +33%.
+        pairwise = 12
+        assert correlations_per_block(4) / pairwise == pytest.approx(4 / 3)
+
+    def test_unsupported_length_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            correlations_per_block(7)
+
+
+class TestStreamEntry:
+    def test_append_until_full(self):
+        e = StreamEntry(10, 4)
+        for t in (11, 12, 13, 14):
+            e.append(t)
+        assert e.full
+        with pytest.raises(ValueError):
+            e.append(15)
+
+    def test_addresses_and_last(self):
+        e = StreamEntry(1, 4, [2, 3])
+        assert e.addresses == [1, 2, 3]
+        assert e.last == 3
+        assert StreamEntry(9, 4).last == 9
+
+    def test_contains_and_position(self):
+        e = StreamEntry(1, 4, [2, 3, 4, 5])
+        assert e.contains(1) and e.contains(5)
+        assert not e.contains(6)
+        assert e.position_of(1) == 0
+        assert e.position_of(4) == 3
+        assert e.position_of(99) == -1
+
+    def test_successors_after(self):
+        e = StreamEntry(1, 4, [2, 3, 4, 5])
+        assert e.successors_after(1) == [2, 3, 4, 5]
+        assert e.successors_after(3) == [4, 5]
+        assert e.successors_after(5) == []
+        assert e.successors_after(42) == []
+
+    def test_correlations_counts_targets(self):
+        assert StreamEntry(1, 4, [2, 3]).correlations == 2
+
+    def test_too_many_targets_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEntry(1, 2, [2, 3, 4])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEntry(1, 0)
+
+    def test_copy_is_independent(self):
+        e = StreamEntry(1, 4, [2], pc=7)
+        c = e.copy()
+        c.append(3)
+        assert e.targets == [2]
+        assert c.pc == 7
+
+    def test_hashed_trigger_and_partial_tag_ranges(self):
+        e = StreamEntry(0xDEADBEEF, 4)
+        assert 0 <= e.hashed_trigger < 1024
+        assert 0 <= e.partial_tag < 64
+
+
+@given(st.integers(min_value=0, max_value=2**30),
+       st.lists(st.integers(min_value=0, max_value=2**30), min_size=0,
+                max_size=4))
+def test_successors_property(trigger, targets):
+    """For any address in the entry, successors are the exact suffix."""
+    e = StreamEntry(trigger, 4, targets)
+    addrs = e.addresses
+    for i, a in enumerate(addrs):
+        # With duplicates, position_of finds the first occurrence.
+        first = addrs.index(a)
+        assert e.successors_after(a) == addrs[first + 1:]

@@ -1,0 +1,166 @@
+"""End-to-end tests of the assembled Streamline prefetcher."""
+
+import pytest
+
+from repro.core.streamline import StreamlinePrefetcher
+from repro.core.variants import (COMPONENTS, add_variant, named_variants,
+                                 remove_variant, streamline_full,
+                                 streamline_unopt)
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.engine import run_single
+
+from conftest import chase_trace
+
+
+def run_streamline(trace, config, **kwargs):
+    holder = {}
+
+    def factory():
+        pf = StreamlinePrefetcher(**kwargs)
+        holder["pf"] = pf
+        return pf
+
+    result = run_single(trace, config, l1_prefetcher=StridePrefetcher,
+                        l2_prefetchers=[factory])
+    return result, holder["pf"]
+
+
+class TestLearning:
+    def test_covers_repeating_chase(self, tiny_config):
+        # Footprint well beyond the LLC so covering misses actually
+        # saves DRAM trips (the paper's operating regime).
+        trace = chase_trace(nodes=6144, n=15000)
+        base = run_single(trace, tiny_config,
+                          l1_prefetcher=StridePrefetcher)
+        res, pf = run_streamline(trace, tiny_config)
+        tp = res.temporal
+        assert tp.coverage > 0.5
+        assert tp.accuracy > 0.9
+        assert res.ipc > base.ipc
+
+    def test_prefetches_match_future_accesses(self, tiny_config, chase):
+        res, _ = run_streamline(chase, tiny_config)
+        tp = res.temporal
+        assert tp.useful > 5 * tp.useless
+
+    def test_streams_are_built(self, tiny_config, chase):
+        _, pf = run_streamline(chase, tiny_config)
+        assert pf.completed_streams > len(chase) // 8
+        assert pf.store.valid_entries() > 0
+
+    def test_no_learning_on_random(self, tiny_config):
+        import numpy as np
+        from repro.sim.trace import TraceBuilder
+        rng = np.random.default_rng(1)
+        b = TraceBuilder("rand")
+        for _ in range(3000):
+            b.add(0x400, 0x10000000 + int(rng.integers(0, 1 << 20)) * 64,
+                  gap=4)
+        res, _ = run_streamline(b.build(), tiny_config)
+        tp = res.temporal
+        assert tp.coverage < 0.05
+
+
+class TestComponents:
+    def test_alignment_fires_on_drifting_stream(self, tiny_config):
+        # Skipping one node per lap shifts the stream phase by one, so
+        # every rebuilt entry overlaps the previous lap's entries with a
+        # different trigger -- the Figure 3 situation.
+        import numpy as np
+        from repro.sim.trace import TraceBuilder
+        rng = np.random.default_rng(9)
+        nodes = 2048  # larger than the tiny config's L2
+        perm = rng.permutation(nodes)
+        b = TraceBuilder("drift")
+        pos, skip_at = 0, 0
+        for i in range(8000):
+            b.add(0x400, 0x10000000 + int(perm[pos]) * 64, gap=4,
+                  dep=True)
+            pos = (pos + 1) % nodes
+            if pos == skip_at:
+                pos = (pos + 1) % nodes          # skip one node this lap
+                skip_at = (skip_at + 1) % nodes  # drift the skip point
+        _, pf = run_streamline(b.build(), tiny_config)
+        assert pf.alignments > 0
+
+    def test_filtering_and_realignment_at_half_size(self, tiny_config,
+                                                    chase):
+        res, pf = run_streamline(chase, tiny_config, dynamic=False,
+                                 initial_every_nth=2)
+        assert pf.store.stats.filtered_lookups > 0
+        assert pf.realignments > 0
+
+    def test_realignment_recovers_coverage(self, tiny_config, chase):
+        with_r, _ = run_streamline(chase, tiny_config, dynamic=False,
+                                   initial_every_nth=2, realignment=True)
+        without, _ = run_streamline(chase, tiny_config, dynamic=False,
+                                    initial_every_nth=2,
+                                    realignment=False)
+        assert with_r.temporal.coverage >= without.temporal.coverage
+
+    def test_degree_control_reaches_max_on_stable_stream(
+            self, tiny_config, chase):
+        _, pf = run_streamline(chase, tiny_config, degree_epoch=256)
+        degrees = [e.degree for e in pf.tu.entries()]
+        assert max(degrees) == 4
+
+    def test_metadata_traffic_accounted(self, tiny_config, chase):
+        res, pf = run_streamline(chase, tiny_config)
+        tp = res.temporal
+        assert tp.metadata_reads > 0
+        assert tp.metadata_writes > 0
+        assert tp.metadata_rearrange_moves == 0  # filtered indexing
+
+    def test_dynamic_partitioning_decides(self, tiny_config, chase):
+        _, pf = run_streamline(chase, tiny_config, partition_epoch=512)
+        assert len(pf.partitioner.decisions) > 0
+
+    def test_accuracy_estimate_tracks_quality(self, tiny_config, chase):
+        _, pf = run_streamline(chase, tiny_config, accuracy_epoch=128)
+        assert pf.current_accuracy > 0.8
+
+    def test_llc_partition_applied(self, tiny_config, chase):
+        res, pf = run_streamline(chase, tiny_config)
+        llc = pf.controller.llc
+        ceded = sum(1 for s in range(llc.num_sets)
+                    if llc.data_ways(s) < llc.ways)
+        assert ceded > 0
+
+
+class TestVariants:
+    def test_full_and_unopt_construct(self):
+        full = streamline_full()
+        unopt = streamline_unopt()
+        assert full.stream_alignment and not unopt.stream_alignment
+        assert full.axis == "set" and unopt.axis == "way"
+        assert full.replacement_name == "tp-mockingjay"
+        assert unopt.replacement_name == "srrip"
+
+    def test_add_and_remove_are_complementary(self):
+        added = add_variant(*COMPONENTS)()
+        assert added.axis == "set" and added.dynamic
+        removed = remove_variant("tpmj")()
+        assert removed.replacement_name == "srrip"
+        assert removed.axis == "set"  # tsp still on
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            add_variant("turbo")
+
+    def test_named_variants_all_run(self, tiny_config):
+        trace = chase_trace(n=1500, nodes=256)
+        for name, factory in named_variants().items():
+            res = run_single(trace, tiny_config,
+                             l2_prefetchers=[factory])
+            assert res.ipc > 0, name
+
+    def test_way_axis_variant_pays_rearrangement_or_not(self, tiny_config,
+                                                        chase):
+        res, pf = run_streamline(chase, tiny_config, axis="way",
+                                 tagged=False, indexing="rearranged",
+                                 dynamic=False)
+        assert res.temporal.coverage >= 0  # runs to completion
+
+    def test_rejects_bad_replacement(self):
+        with pytest.raises(ValueError):
+            StreamlinePrefetcher(replacement="belady")

@@ -1,0 +1,98 @@
+"""Unit and property tests for the trace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Trace, TraceBuilder, TraceRecord
+
+
+def small_trace():
+    b = TraceBuilder("t")
+    b.add(1, 64, gap=2)
+    b.add(2, 128, is_write=True, gap=3, dep=True)
+    b.add(1, 192)
+    return b.build()
+
+
+def test_builder_roundtrip():
+    t = small_trace()
+    assert len(t) == 3
+    rows = list(t)
+    assert rows[0] == (1, 64, False, 2, False)
+    assert rows[1] == (2, 128, True, 3, True)
+
+
+def test_instructions_counts_gaps_plus_ops():
+    t = small_trace()
+    assert t.instructions == (2 + 3 + 3) + 3
+
+
+def test_slice_preserves_fields():
+    t = small_trace().slice(1, 3)
+    assert len(t) == 2
+    assert list(t)[0][2] is True      # write flag survived
+    assert list(t)[0][4] is True      # dep flag survived
+
+
+def test_footprint_and_pcs():
+    t = small_trace()
+    assert t.footprint_blocks() == 3
+    assert t.unique_pcs() == 2
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        Trace("bad", [1, 2], [64], [False], [1])
+    with pytest.raises(ValueError):
+        Trace("bad", [1], [64], [False], [1], deps=[True, False])
+
+
+def test_from_records():
+    t = Trace.from_records("r", [TraceRecord(1, 64),
+                                 TraceRecord(2, 128, dep=True)])
+    assert len(t) == 2
+    assert list(t)[1][4] is True
+
+
+def test_save_load_roundtrip(tmp_path):
+    t = small_trace()
+    path = tmp_path / "trace.npz"
+    t.save(str(path))
+    loaded = Trace.load(str(path))
+    assert list(loaded) == list(t)
+    assert loaded.name == t.name
+
+
+def test_load_without_deps_defaults_false(tmp_path):
+    t = small_trace()
+    path = tmp_path / "old.npz"
+    np.savez_compressed(path, name=np.array("old"), pcs=t.pcs,
+                        addrs=t.addrs, writes=t.writes, gaps=t.gaps)
+    loaded = Trace.load(str(path))
+    assert not loaded.deps.any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=2**30),   # pc
+    st.integers(min_value=0, max_value=2**40),   # addr
+    st.booleans(), st.integers(min_value=0, max_value=50),
+    st.booleans()), min_size=1, max_size=100))
+def test_builder_matches_input(records):
+    b = TraceBuilder("prop")
+    for pc, addr, w, gap, dep in records:
+        b.add(pc, addr, w, gap, dep)
+    t = b.build()
+    assert list(t) == [tuple(r) for r in records]
+    assert t.instructions == sum(r[3] for r in records) + len(records)
+
+
+def test_builder_extend():
+    a, b = TraceBuilder("a"), TraceBuilder("b")
+    a.add(1, 64)
+    b.add(2, 128, dep=True)
+    a.extend(b)
+    t = a.build()
+    assert len(t) == 2 and list(t)[1][0] == 2

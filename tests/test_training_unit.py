@@ -1,0 +1,69 @@
+"""Tests for the per-PC training unit and metadata buffer."""
+
+import pytest
+
+from repro.core.stream_entry import StreamEntry
+from repro.core.training_unit import PCEntry, StreamTrainingUnit
+
+
+class TestPCEntry:
+    def test_buffer_find_promotes_to_mru(self):
+        st = PCEntry(1, buffer_size=3)
+        a = StreamEntry(10, 4, [11])
+        b = StreamEntry(20, 4, [21])
+        st.buffer_insert(a)
+        st.buffer_insert(b)          # b is MRU
+        assert st.buffer_find(11) is a
+        assert st.buffer[0] is a     # promoted
+
+    def test_buffer_find_matches_any_position(self):
+        st = PCEntry(1)
+        st.buffer_insert(StreamEntry(10, 4, [11, 12, 13, 14]))
+        assert st.buffer_find(13) is not None
+        assert st.buffer_find(99) is None
+
+    def test_buffer_evicts_lru_beyond_capacity(self):
+        st = PCEntry(1, buffer_size=2)
+        entries = [StreamEntry(i * 10, 4) for i in range(1, 4)]
+        for e in entries:
+            st.buffer_insert(e)
+        assert len(st.buffer) == 2
+        assert st.buffer_find(10) is None  # oldest evicted
+
+    def test_same_trigger_replaces(self):
+        st = PCEntry(1, buffer_size=3)
+        st.buffer_insert(StreamEntry(10, 4, [11]))
+        st.buffer_insert(StreamEntry(10, 4, [99]))
+        assert len(st.buffer) == 1
+        assert st.buffer[0].targets == [99]
+
+    def test_zero_size_buffer_is_inert(self):
+        st = PCEntry(1, buffer_size=0)
+        st.buffer_insert(StreamEntry(10, 4))
+        assert st.buffer == []
+
+
+class TestStreamTrainingUnit:
+    def test_get_allocates_and_reuses(self):
+        tu = StreamTrainingUnit(size=4)
+        a = tu.get(100)
+        assert tu.get(100) is a
+        assert len(tu) == 1
+
+    def test_lru_eviction_at_capacity(self):
+        tu = StreamTrainingUnit(size=2)
+        tu.get(1)
+        tu.get(2)
+        tu.get(1)       # touch 1: 2 becomes LRU
+        tu.get(3)       # evicts 2
+        assert len(tu) == 2
+        pcs = {e.pc for e in tu.entries()}
+        assert pcs == {1, 3}
+
+    def test_entries_carry_buffer_size(self):
+        tu = StreamTrainingUnit(size=4, buffer_size=5)
+        assert tu.get(1).buffer_size == 5
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            StreamTrainingUnit(size=0)

@@ -1,0 +1,149 @@
+"""Tests for the synthetic workload suites and mixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (base, generate_mixes, make, mix_name, names,
+                             suite, suite_of)
+
+
+class TestRegistry:
+    def test_all_suites_populated(self):
+        assert len(suite("spec06")) == 13
+        assert len(suite("spec17")) == 10
+        assert len(suite("gap")) == 6
+        assert len(names()) == 29
+
+    def test_suite_of_roundtrip(self):
+        for wl in names():
+            assert wl in suite(suite_of(wl))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make("06.quake", 100)
+        with pytest.raises(ValueError):
+            suite("spec2000")
+        with pytest.raises(ValueError):
+            suite_of("nope")
+
+    def test_every_workload_generates(self):
+        for wl in names():
+            t = make(wl, 500)
+            assert len(t) == 500
+            assert t.name == wl
+
+    def test_deterministic_by_seed(self):
+        a = make("gap.pr", 1000, seed=5)
+        b = make("gap.pr", 1000, seed=5)
+        c = make("gap.pr", 1000, seed=6)
+        assert (a.addrs == b.addrs).all()
+        assert not (a.addrs == c.addrs).all()
+
+
+class TestArchetypes:
+    def test_pointer_chase_repeats_exactly(self):
+        t = base.pointer_chase("c", 2000, 1, nodes=500)
+        blocks = (t.addrs >> 6).tolist()
+        assert blocks[:500] == blocks[500:1000]
+
+    def test_pointer_chase_marks_deps(self):
+        t = base.pointer_chase("c", 100, 1)
+        assert t.deps.all()
+
+    def test_mutation_changes_later_laps(self):
+        t = base.pointer_chase("c", 3000, 1, nodes=500, mutate_every=100)
+        blocks = (t.addrs >> 6).tolist()
+        assert blocks[:500] != blocks[2500:3000]
+
+    def test_graph_sweep_stable_order_repeats(self):
+        t = base.graph_sweep("g", 4000, 1, vertices=128, avg_degree=4,
+                             stable_order=True)
+        blocks = (t.addrs >> 6).tolist()
+        period = None
+        # Find the sweep length by locating the first vertex revisit.
+        first = blocks[0]
+        for i in range(1, len(blocks)):
+            if blocks[i] == first and t.pcs[i] == t.pcs[0]:
+                period = i
+                break
+        assert period is not None
+        assert blocks[:100] == blocks[period:period + 100]
+
+    def test_graph_sweep_universe_widens_footprint(self):
+        narrow = base.graph_sweep("g", 3000, 1, vertices=128,
+                                  universe_factor=1)
+        wide = base.graph_sweep("g", 3000, 1, vertices=128,
+                                universe_factor=8)
+        assert wide.footprint_blocks() > narrow.footprint_blocks()
+
+    def test_stream_is_sequential(self):
+        t = base.stream("s", 100, 0, arrays=1, stride=64)
+        diffs = np.diff(t.addrs)
+        assert (diffs[diffs > 0] == 64).all()
+
+    def test_hash_probe_rerun_replays_bursts(self):
+        t = base.hash_probe("h", 4000, 1, table_blocks=4096, rerun=0.5,
+                            burst=32)
+        blocks = (t.addrs >> 6).tolist()
+        # Replayed bursts mean some 8-grams appear more than once.
+        grams = {}
+        for i in range(0, len(blocks) - 8, 8):
+            g = tuple(blocks[i:i + 8])
+            grams[g] = grams.get(g, 0) + 1
+        assert max(grams.values()) >= 2
+
+    def test_scan_mix_has_two_pcs_one_scanning(self):
+        t = base.scan_mix("m", 2000, 1, nodes=200, scan_fraction=0.5)
+        assert t.unique_pcs() == 2
+        # The scan PC's addresses never repeat.
+        scan_pc = max(t.pcs.tolist())
+        scan_addrs = [a for p, a in zip(t.pcs.tolist(), t.addrs.tolist())
+                      if p == scan_pc]
+        assert len(set(scan_addrs)) == len(scan_addrs)
+
+    def test_phased_regions_disjoint(self):
+        t = base.phased("p", 2000, 1, phases=["chase", "hash"])
+        half = len(t) // 2
+        first = set((t.addrs[:half] >> 36).tolist())
+        second = set((t.addrs[half:] >> 36).tolist())
+        assert first.isdisjoint(second)
+
+    def test_phased_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            base.phased("p", 100, 1, phases=["quantum"])
+
+
+class TestMixes:
+    def test_shape_and_determinism(self):
+        mixes = generate_mixes(4, 10, seed=3)
+        assert len(mixes) == 10
+        assert all(len(m) == 4 for m in mixes)
+        assert mixes == generate_mixes(4, 10, seed=3)
+        assert mixes != generate_mixes(4, 10, seed=4)
+
+    def test_pool_restriction(self):
+        mixes = generate_mixes(2, 5, pool=["gap.pr"], seed=1)
+        assert all(m == ["gap.pr", "gap.pr"] for m in mixes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_mixes(0, 5)
+        with pytest.raises(ValueError):
+            generate_mixes(2, 0)
+        with pytest.raises(ValueError):
+            generate_mixes(2, 2, pool=[])
+
+    def test_mix_name(self):
+        assert mix_name(["06.mcf", "gap.pr"]) == "mcf+pr"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(names()),
+       st.integers(min_value=100, max_value=2000))
+def test_any_workload_any_length(wl, n):
+    t = make(wl, n)
+    assert len(t) == n
+    assert (t.addrs >= 0).all()
+    assert t.instructions >= n
