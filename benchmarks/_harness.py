@@ -7,7 +7,14 @@ resulting table is printed and also written to ``benchmarks/results/``
 so the numbers survive output capture.
 
 Scale knobs: ``REPRO_N`` (accesses per trace) and ``REPRO_QUICK=1``
-shrink every experiment; see ``repro.experiments.common``.
+shrink every experiment; ``REPRO_JOBS`` sets the simulation worker
+count and ``REPRO_CACHE=0`` disables the on-disk result cache under
+``benchmarks/.simcache/`` (see ``repro.runner`` and
+``repro.experiments.common``).
+
+Runner telemetry (worker count, cache hit/miss deltas) lands in
+``benchmark.extra_info`` so BENCH_*.json tracks the parallel/caching
+speedup across revisions.
 """
 
 from __future__ import annotations
@@ -21,14 +28,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def run_experiment(benchmark, exp_id: str, **kwargs):
     """Run one experiment under pytest-benchmark and persist its table."""
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.runner import get_runner
 
     fn = ALL_EXPERIMENTS[exp_id]
+    runner = get_runner()
+    before = runner.cache.stats.snapshot()
     result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
                                 iterations=1)
+    after = runner.cache.stats.snapshot()
     text = f"== {exp_id} ==\n{result.table()}\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
     print()
     print(text)
     benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["workers"] = runner.workers
+    benchmark.extra_info["cache"] = {
+        k: after[k] - before[k] for k in after}
+    benchmark.extra_info["cache_persistent"] = runner.cache.persistent
     return result

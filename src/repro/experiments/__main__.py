@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments all
 
 Scale with ``REPRO_N`` / ``REPRO_QUICK=1`` (see experiments.common).
+Parallelism and caching: ``REPRO_JOBS=<workers>`` (1 = serial),
+``REPRO_CACHE=0`` to disable the on-disk result cache (see
+``repro.runner``).
 """
 
 from __future__ import annotations
@@ -37,6 +40,11 @@ def main(argv) -> int:
         print(f"== {name} ({time.time() - t0:.1f}s) ==")
         print(result.table())
         print()
+    from ..runner import get_runner
+    runner = get_runner()
+    stats = runner.cache.stats.snapshot()
+    print(f"[runner] workers={runner.workers} "
+          + " ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
 
 

@@ -1,11 +1,16 @@
 """Shared experiment plumbing: configs, run helpers, workload sets.
 
 Every figure/table module builds on these helpers so the benches stay
-declarative.  Scale knobs come from the environment:
+declarative.  All simulations are expressed as :class:`repro.runner.SimJob`
+batches and submitted through the shared :class:`repro.runner.SimRunner`,
+which dedups them against a two-level result cache and fans cold work
+out over a process pool.  Scale knobs come from the environment:
 
 * ``REPRO_N`` - accesses per trace (default 60000; tests use less).
 * ``REPRO_QUICK`` - set to 1 to shrink every experiment to a handful of
   representative workloads and fewer mixes.
+* ``REPRO_JOBS`` - simulation worker processes (1 = in-process serial).
+* ``REPRO_CACHE=0`` - disable the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -14,17 +19,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.streamline import StreamlinePrefetcher
-from ..prefetchers.berti import BertiPrefetcher
-from ..prefetchers.stride import StridePrefetcher
-from ..prefetchers.triage import IdealTriage
-from ..prefetchers.triangel import TriangelPrefetcher
+from ..runner import PrefetcherSpec, SimJob, SimRunner, as_spec, \
+    get_runner, spec
 from ..sim.config import SystemConfig
-from ..sim.engine import run_single
-from ..sim.multicore import run_multicore
 from ..sim.stats import SimResult, format_table, geomean
-from ..sim.trace import Trace
-from ..workloads import generate_mixes, make, names, suite, suite_of
+from ..workloads import generate_mixes
 
 #: The experiments run on a 1/4-scale hierarchy (see DESIGN.md §4).
 SCALE_FACTOR = 4
@@ -56,6 +55,7 @@ def experiment_config(num_cores: int = 1, **overrides) -> SystemConfig:
 
 def workload_set(kind: str = "full") -> List[str]:
     """"full", "quick", "component", or a suite name."""
+    from ..workloads import names, suite
     if kind == "component":
         return list(COMPONENT_SET)
     if quick_mode() or kind == "quick":
@@ -65,21 +65,43 @@ def workload_set(kind: str = "full") -> List[str]:
     return suite(kind)
 
 
-# -- run helpers ---------------------------------------------------------------
+# -- prefetcher specs ----------------------------------------------------------
 
-def stride_l1() -> StridePrefetcher:
+def stride_l1():
+    """Legacy zero-arg factory (engine-level API; experiments use specs)."""
+    from ..prefetchers.stride import StridePrefetcher
     return StridePrefetcher()
 
 
-def berti_l1() -> BertiPrefetcher:
+def berti_l1():
+    from ..prefetchers.berti import BertiPrefetcher
     return BertiPrefetcher()
 
 
-PREFETCHER_FACTORIES: Dict[str, Callable] = {
-    "triangel": TriangelPrefetcher,
-    "streamline": StreamlinePrefetcher,
+STRIDE_L1 = spec("stride")
+BERTI_L1 = spec("berti")
+
+#: The paper's two temporal prefetchers, as serializable specs.
+PREFETCHER_SPECS: Dict[str, PrefetcherSpec] = {
+    "triangel": spec("triangel"),
+    "streamline": spec("streamline"),
 }
 
+#: Backwards-compatible alias (older callers iterated factories).
+PREFETCHER_FACTORIES = PREFETCHER_SPECS
+
+
+def _l1_spec(l1) -> Optional[PrefetcherSpec]:
+    """Coerce the ``l1_factory`` argument (spec, name, or the legacy
+    ``stride_l1`` / ``berti_l1`` helpers) to a spec."""
+    if l1 is stride_l1:
+        return STRIDE_L1
+    if l1 is berti_l1:
+        return BERTI_L1
+    return as_spec(l1)
+
+
+# -- run helpers ---------------------------------------------------------------
 
 @dataclass
 class SingleCoreRun:
@@ -94,21 +116,36 @@ class SingleCoreRun:
 
 
 def run_matrix(workloads: Sequence[str], n: int,
-               configs: Dict[str, Callable],
+               configs: Dict[str, object],
                config: Optional[SystemConfig] = None,
-               l1_factory: Callable = stride_l1,
-               seed: int = 1234) -> List[SingleCoreRun]:
-    """Run baseline + each config on every workload (single core)."""
+               l1_factory=stride_l1,
+               seed: int = 1234,
+               probes: Sequence[str] = (),
+               runner: Optional[SimRunner] = None) -> List[SingleCoreRun]:
+    """Run baseline + each config on every workload (single core).
+
+    ``configs`` maps display name -> prefetcher spec (or registry
+    name/class).  The whole matrix is submitted as one batch, so
+    distinct cells run in parallel and repeated cells (e.g. a baseline
+    another figure already computed) come from the cache.
+    """
     config = config or experiment_config()
+    runner = runner or get_runner()
+    l1 = _l1_spec(l1_factory)
+    specs = {name: as_spec(c) for name, c in configs.items()}
+    jobs = []
+    for wl in workloads:
+        jobs.append(SimJob.single(wl, n, config, l1=l1, seed=seed))
+        for s in specs.values():
+            jobs.append(SimJob.single(wl, n, config, l1=l1, l2=(s,),
+                                      seed=seed, probes=probes))
+    results = iter(runner.run(jobs))
     out = []
     for wl in workloads:
-        trace = make(wl, n, seed)
-        run = SingleCoreRun(
-            wl, run_single(trace, config, l1_prefetcher=l1_factory))
-        for name, factory in configs.items():
-            run.results[name] = run_single(
-                trace, config, l1_prefetcher=l1_factory,
-                l2_prefetchers=[factory])
+        run = SingleCoreRun(wl, next(results).single)
+        for name in specs:
+            res = next(results)
+            run.results[name] = res.single
         out.append(run)
     return out
 
@@ -116,6 +153,7 @@ def run_matrix(workloads: Sequence[str], n: int,
 def suite_geomeans(runs: Sequence[SingleCoreRun], config: str
                    ) -> Dict[str, float]:
     """Geomean speedup per suite plus "all"."""
+    from ..workloads import suite_of
     out: Dict[str, float] = {}
     for s in ("spec06", "spec17", "gap"):
         sub = [r for r in runs if suite_of(r.workload) == s]
@@ -127,18 +165,28 @@ def suite_geomeans(runs: Sequence[SingleCoreRun], config: str
 
 def irregular_subset(workloads: Sequence[str], n: int,
                      config: Optional[SystemConfig] = None,
-                     headroom: float = 0.05, seed: int = 1234
-                     ) -> List[str]:
+                     headroom: float = 0.05, seed: int = 1234,
+                     runner: Optional[SimRunner] = None) -> List[str]:
     """The paper's irregular subset: >=5% speedup headroom under an
-    idealized Triage with unlimited metadata (Section V-A3)."""
+    idealized Triage with unlimited metadata (Section V-A3).
+
+    The stride baselines share fingerprints with :func:`run_matrix`, so
+    a caller that already ran the matrix pays only for the ideal-Triage
+    runs here.
+    """
     config = config or experiment_config()
-    subset = []
+    runner = runner or get_runner()
+    ideal = spec("ideal-triage")
+    jobs = []
     for wl in workloads:
-        trace = make(wl, n, seed)
-        base = run_single(trace, config, l1_prefetcher=stride_l1)
-        ideal = run_single(trace, config, l1_prefetcher=stride_l1,
-                           l2_prefetchers=[IdealTriage])
-        if ideal.ipc / base.ipc >= 1.0 + headroom:
+        jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1, seed=seed))
+        jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1,
+                                  l2=(ideal,), seed=seed))
+    results = runner.run(jobs)
+    subset = []
+    for i, wl in enumerate(workloads):
+        base, ideal_res = results[2 * i].single, results[2 * i + 1].single
+        if ideal_res.ipc / base.ipc >= 1.0 + headroom:
             subset.append(wl)
     return subset
 
@@ -146,38 +194,53 @@ def irregular_subset(workloads: Sequence[str], n: int,
 # -- multicore helpers -----------------------------------------------------------
 
 def run_mixes(num_cores: int, mix_count: int, n_per_core: int,
-              configs: Dict[str, Callable],
+              configs: Dict[str, object],
               pool: Optional[Sequence[str]] = None,
-              l1_factory: Callable = stride_l1,
-              seed: int = 7) -> Dict[str, List[float]]:
+              l1_factory=stride_l1,
+              seed: int = 7,
+              config: Optional[SystemConfig] = None,
+              iso_config: Optional[SystemConfig] = None,
+              runner: Optional[SimRunner] = None
+              ) -> Dict[str, List[float]]:
     """Weighted-speedup of each config over the stride baseline, per mix.
 
     Returns config name -> list of per-mix normalized weighted speedups.
-    Per-core isolated baseline runs are memoized across mixes.
+    The isolated single-core runs, every mix's baseline, and every
+    config run are submitted as one job batch: traces are generated
+    once per ``(workload, n, seed)`` per worker, isolated baselines are
+    shared across mixes (and with other experiments) via the cache, and
+    independent mixes simulate in parallel.
+
+    ``config`` / ``iso_config`` override the mixed and isolated system
+    configurations (e.g. for DRAM-bandwidth sweeps).
     """
     mixes = generate_mixes(num_cores, mix_count, pool=pool, seed=seed)
-    config = experiment_config(num_cores=num_cores)
-    iso_config = experiment_config(num_cores=1)
-    singles: Dict[str, float] = {}
+    config = config or experiment_config(num_cores=num_cores)
+    iso_config = iso_config or experiment_config(num_cores=1)
+    runner = runner or get_runner()
+    l1 = _l1_spec(l1_factory)
 
-    def isolated_ipc(wl: str) -> float:
-        if wl not in singles:
-            trace = make(wl, n_per_core)
-            singles[wl] = run_single(trace, iso_config,
-                                     l1_prefetcher=l1_factory).ipc
-        return singles[wl]
+    jobs: List[SimJob] = []
+    iso_workloads = sorted({wl for mix in mixes for wl in mix})
+    for wl in iso_workloads:
+        jobs.append(SimJob.single(wl, n_per_core, iso_config, l1=l1))
+    for mix in mixes:
+        jobs.append(SimJob.multi(mix, n_per_core, config, l1=l1))
+        for s in configs.values():
+            jobs.append(SimJob.multi(mix, n_per_core, config, l1=l1,
+                                     l2=(as_spec(s),)))
+    results = iter(runner.run(jobs))
 
+    singles = {wl: next(results).single.ipc for wl in iso_workloads}
     out: Dict[str, List[float]] = {name: [] for name in configs}
     out["baseline"] = []
     for mix in mixes:
-        traces = [make(wl, n_per_core) for wl in mix]
-        isolated = [isolated_ipc(wl) for wl in mix]
-        base = run_multicore(traces, config, l1_prefetcher=l1_factory)
+        isolated = [singles[wl] for wl in mix]
+        base = next(results).multicore
         base_ws = sum(c.ipc / i for c, i in zip(base.cores, isolated))
         out["baseline"].append(base_ws)
-        for name, factory in configs.items():
-            res = run_multicore(traces, config, l1_prefetcher=l1_factory,
-                                l2_prefetchers=[factory])
+        for name in configs:
+            res = next(results).multicore
             ws = sum(c.ipc / i for c, i in zip(res.cores, isolated))
             out[name].append(ws / base_ws)
     return out

@@ -13,16 +13,13 @@ accuracy, and degree sensitivity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..core.streamline import StreamlinePrefetcher
-from ..prefetchers.triangel import TriangelPrefetcher
-from ..sim.engine import run_single
+from ..runner import spec
 from ..sim.stats import geomean
-from ..workloads import make
-from .common import (PREFETCHER_FACTORIES, ExperimentResult, env_n,
+from .common import (PREFETCHER_SPECS, ExperimentResult, env_n,
                      experiment_config, fmt, quick_mode, run_matrix,
-                     run_mixes, stride_l1, workload_set)
+                     run_mixes, workload_set)
 
 
 def run_fig10a(n_per_core: Optional[int] = None,
@@ -33,7 +30,7 @@ def run_fig10a(n_per_core: Optional[int] = None,
     mixes = mix_count or (2 if quick_mode() else 4)
     rows = []
     for cores in core_counts:
-        per_mix = run_mixes(cores, mixes, n, PREFETCHER_FACTORIES)
+        per_mix = run_mixes(cores, mixes, n, PREFETCHER_SPECS)
         tri = geomean(per_mix["triangel"])
         sl = geomean(per_mix["streamline"])
         rows.append([cores, fmt(tri), fmt(sl), fmt(sl - tri)])
@@ -47,7 +44,7 @@ def run_fig10b(n_per_core: Optional[int] = None,
                mix_count: Optional[int] = None) -> ExperimentResult:
     n = n_per_core or env_n(50_000)
     mixes = mix_count or (4 if quick_mode() else 8)
-    per_mix = run_mixes(4, mixes, n, PREFETCHER_FACTORIES)
+    per_mix = run_mixes(4, mixes, n, PREFETCHER_SPECS)
     pairs = sorted(zip(per_mix["streamline"], per_mix["triangel"]),
                    key=lambda p: p[0] - p[1])
     rows = [[i, fmt(sl), fmt(tri), fmt(sl - tri)]
@@ -70,7 +67,12 @@ def run_fig10c(n_per_core: Optional[int] = None,
     mixes = mix_count or (2 if quick_mode() else 3)
     rows = []
     for scale in scales:
-        per_mix = _run_mixes_bw(cores, mixes, n, scale)
+        per_mix = run_mixes(
+            cores, mixes, n, PREFETCHER_SPECS,
+            config=experiment_config(num_cores=cores,
+                                     dram_bandwidth_scale=scale),
+            iso_config=experiment_config(num_cores=1,
+                                         dram_bandwidth_scale=scale))
         rows.append([scale, fmt(geomean(per_mix["triangel"])),
                      fmt(geomean(per_mix["streamline"]))])
     notes = ("paper: Streamline holds a 1.1-3.3 pp margin across "
@@ -79,42 +81,12 @@ def run_fig10c(n_per_core: Optional[int] = None,
                                        "streamline"], rows, notes)
 
 
-def _run_mixes_bw(cores: int, mix_count: int, n: int,
-                  bw_scale: float) -> Dict[str, List[float]]:
-    """run_mixes with a DRAM bandwidth override."""
-    from ..sim.multicore import run_multicore
-    from ..workloads import generate_mixes
-    config = experiment_config(num_cores=cores,
-                               dram_bandwidth_scale=bw_scale)
-    iso = experiment_config(num_cores=1, dram_bandwidth_scale=bw_scale)
-    singles: Dict[str, float] = {}
-
-    def isolated(wl: str) -> float:
-        if wl not in singles:
-            singles[wl] = run_single(make(wl, n), iso,
-                                     l1_prefetcher=stride_l1).ipc
-        return singles[wl]
-
-    out: Dict[str, List[float]] = {k: [] for k in PREFETCHER_FACTORIES}
-    for mix in generate_mixes(cores, mix_count, seed=7):
-        traces = [make(wl, n) for wl in mix]
-        isos = [isolated(wl) for wl in mix]
-        base = run_multicore(traces, config, l1_prefetcher=stride_l1)
-        base_ws = sum(c.ipc / i for c, i in zip(base.cores, isos))
-        for name, factory in PREFETCHER_FACTORIES.items():
-            res = run_multicore(traces, config, l1_prefetcher=stride_l1,
-                                l2_prefetchers=[factory])
-            ws = sum(c.ipc / i for c, i in zip(res.cores, isos))
-            out[name].append(ws / base_ws)
-    return out
-
-
 def run_fig10de(n: Optional[int] = None,
                 workloads: Optional[Sequence[str]] = None
                 ) -> ExperimentResult:
     n = n or env_n()
     workloads = list(workloads or workload_set("full"))
-    runs = run_matrix(workloads, n, PREFETCHER_FACTORIES)
+    runs = run_matrix(workloads, n, PREFETCHER_SPECS)
     runs = [r for r in runs if r.baseline.llc_mpki > 1.0]
     rows = []
     sums = {"triangel": [0.0, 0.0], "streamline": [0.0, 0.0]}
@@ -149,20 +121,13 @@ def run_fig10f(n: Optional[int] = None,
     config = experiment_config()
     rows = []
     for degree in degrees:
-        speedups = {"triangel": [], "streamline": []}
-        for wl in workloads:
-            trace = make(wl, n)
-            base = run_single(trace, config, l1_prefetcher=stride_l1)
-            for name, factory in (
-                    ("triangel",
-                     lambda: TriangelPrefetcher(degree=degree)),
-                    ("streamline",
-                     lambda: StreamlinePrefetcher(degree=degree))):
-                res = run_single(trace, config, l1_prefetcher=stride_l1,
-                                 l2_prefetchers=[factory])
-                speedups[name].append(res.ipc / base.ipc)
-        rows.append([degree, fmt(geomean(speedups["triangel"])),
-                     fmt(geomean(speedups["streamline"]))])
+        configs = {"triangel": spec("triangel", degree=degree),
+                   "streamline": spec("streamline", degree=degree)}
+        runs = run_matrix(workloads, n, configs, config=config)
+        rows.append([degree,
+                     fmt(geomean(r.speedup("triangel") for r in runs)),
+                     fmt(geomean(r.speedup("streamline")
+                                 for r in runs))])
     notes = ("paper: Streamline peaks at degree 4 (its stream length); "
              "Triangel is largely insensitive")
     return ExperimentResult("fig10f", ["max_degree", "triangel",

@@ -12,22 +12,19 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..prefetchers.bingo import BingoPrefetcher
-from ..prefetchers.ipcp import IPCPPrefetcher
-from ..prefetchers.spp import SPPPrefetcher
-from ..sim.engine import run_single
+from ..runner import PrefetcherSpec, SimJob, get_runner, spec
 from ..sim.stats import geomean
-from ..workloads import make
-from .common import (PREFETCHER_FACTORIES, ExperimentResult, berti_l1,
-                     env_n, experiment_config, fmt, quick_mode,
-                     run_matrix, run_mixes, stride_l1, workload_set)
+from .common import (BERTI_L1, PREFETCHER_SPECS, STRIDE_L1,
+                     ExperimentResult, berti_l1, env_n,
+                     experiment_config, fmt, quick_mode, run_mixes,
+                     workload_set)
 
-L2_REGULARS: Dict[str, Callable] = {
-    "ipcp": IPCPPrefetcher,
-    "bingo": BingoPrefetcher,
-    "spp-ppf": SPPPrefetcher,
+L2_REGULARS: Dict[str, PrefetcherSpec] = {
+    "ipcp": spec("ipcp"),
+    "bingo": spec("bingo"),
+    "spp-ppf": spec("spp-ppf"),
 }
 
 
@@ -38,19 +35,28 @@ def run_fig11a(n: Optional[int] = None,
     n = n or env_n()
     workloads = list(workloads or workload_set("full"))
     config = experiment_config()
+    runner = get_runner()
+    # Batch 1: stride baselines (the memory-intensity filter).
+    stride_runs = runner.run([SimJob.single(wl, n, config, l1=STRIDE_L1)
+                              for wl in workloads])
+    intensive = [(wl, r.single) for wl, r in zip(workloads, stride_runs)
+                 if r.single.llc_mpki > 1.0]
+    # Batch 2: Berti alone + Berti+temporal for the survivors.
+    jobs = []
+    for wl, _ in intensive:
+        jobs.append(SimJob.single(wl, n, config, l1=BERTI_L1))
+        for s in PREFETCHER_SPECS.values():
+            jobs.append(SimJob.single(wl, n, config, l1=BERTI_L1,
+                                      l2=(s,)))
+    results = iter(runner.run(jobs))
     rows = []
     speedups = {"berti": [], "triangel": [], "streamline": []}
-    for wl in workloads:
-        trace = make(wl, n)
-        stride_base = run_single(trace, config, l1_prefetcher=stride_l1)
-        if stride_base.llc_mpki <= 1.0:
-            continue
-        berti_only = run_single(trace, config, l1_prefetcher=berti_l1)
+    for wl, stride_base in intensive:
+        berti_only = next(results).single
         row = [wl, fmt(berti_only.ipc / stride_base.ipc)]
         speedups["berti"].append(berti_only.ipc / stride_base.ipc)
-        for name, factory in PREFETCHER_FACTORIES.items():
-            res = run_single(trace, config, l1_prefetcher=berti_l1,
-                             l2_prefetchers=[factory])
+        for name in PREFETCHER_SPECS:
+            res = next(results).single
             row.append(fmt(res.ipc / stride_base.ipc))
             speedups[name].append(res.ipc / stride_base.ipc)
         rows.append(row)
@@ -72,7 +78,7 @@ def run_fig11b(n_per_core: Optional[int] = None,
     mixes = mix_count or (2 if quick_mode() else 3)
     rows = []
     for cores in core_counts:
-        per_mix = run_mixes(cores, mixes, n, PREFETCHER_FACTORIES,
+        per_mix = run_mixes(cores, mixes, n, PREFETCHER_SPECS,
                             l1_factory=berti_l1)
         tri = geomean(per_mix["triangel"])
         sl = geomean(per_mix["streamline"])
@@ -90,20 +96,27 @@ def run_fig11cd(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("quick"))
     config = experiment_config()
+    runner = get_runner()
+    jobs = []
+    for reg in L2_REGULARS.values():
+        for wl in workloads:
+            jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1))
+            jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1,
+                                      l2=(reg,)))
+            for s in PREFETCHER_SPECS.values():
+                jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1,
+                                          l2=(reg, s)))
+    results = iter(runner.run(jobs))
     rows = []
-    for reg_name, reg_factory in L2_REGULARS.items():
+    for reg_name in L2_REGULARS:
         speedups = {"alone": [], "triangel": [], "streamline": []}
         coverages = {"triangel": [], "streamline": []}
-        for wl in workloads:
-            trace = make(wl, n)
-            base = run_single(trace, config, l1_prefetcher=stride_l1)
-            alone = run_single(trace, config, l1_prefetcher=stride_l1,
-                               l2_prefetchers=[reg_factory])
+        for _ in workloads:
+            base = next(results).single
+            alone = next(results).single
             speedups["alone"].append(alone.ipc / base.ipc)
-            for name, factory in PREFETCHER_FACTORIES.items():
-                res = run_single(
-                    trace, config, l1_prefetcher=stride_l1,
-                    l2_prefetchers=[reg_factory, factory])
+            for name in PREFETCHER_SPECS:
+                res = next(results).single
                 speedups[name].append(res.ipc / base.ipc)
                 tp = res.temporal
                 coverages[name].append(tp.coverage if tp else 0.0)

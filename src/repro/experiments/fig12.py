@@ -8,20 +8,21 @@
   alignment halves redundancy; ~31% of what remains is benign).
 * 12c - metadata-buffer size sweep: alignment rate and coverage (paper:
   3 entries align 67% and saturate coverage).
+
+Component statistics (store hit rates, alignment counters, redundancy)
+are collected by named probes that run inside the worker next to the
+simulation; see :mod:`repro.runner.probes`.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..analysis.redundancy import measure
 from ..core.stream_entry import ENTRIES_PER_BLOCK, correlations_per_block
-from ..core.streamline import StreamlinePrefetcher
-from ..sim.engine import run_single
+from ..runner import SimJob, get_runner, spec
 from ..sim.stats import geomean
-from ..workloads import make
-from .common import (ExperimentResult, env_n, experiment_config, fmt,
-                     stride_l1, workload_set)
+from .common import (STRIDE_L1, ExperimentResult, env_n,
+                     experiment_config, fmt, workload_set)
 
 
 def run_fig12a(n: Optional[int] = None,
@@ -31,31 +32,31 @@ def run_fig12a(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    runner = get_runner()
+    lengths = [l for l in lengths if l in ENTRIES_PER_BLOCK]
+    jobs = [SimJob.single(wl, n, config, l1=STRIDE_L1)
+            for wl in workloads]
+    for length in lengths:
+        sl = spec("streamline", stream_length=length)
+        jobs += [SimJob.single(wl, n, config, l1=STRIDE_L1, l2=(sl,),
+                               probes=("store_stats",))
+                 for wl in workloads]
+    results = runner.run(jobs)
+    bases = {wl: r.single for wl, r in zip(workloads, results)}
+    rest = iter(results[len(workloads):])
     rows = []
     for length in lengths:
-        if length not in ENTRIES_PER_BLOCK:
-            continue
         speedups: List[float] = []
         coverages: List[float] = []
         hit_rates: List[float] = []
         for wl in workloads:
-            trace = make(wl, n)
-            base = run_single(trace, config, l1_prefetcher=stride_l1)
-            holder = {}
-
-            def factory():
-                pf = StreamlinePrefetcher(stream_length=length)
-                holder["pf"] = pf
-                return pf
-
-            res = run_single(trace, config, l1_prefetcher=stride_l1,
-                             l2_prefetchers=[factory])
-            speedups.append(res.ipc / base.ipc)
-            tp = res.temporal
+            res = next(rest)
+            speedups.append(res.single.ipc / bases[wl].ipc)
+            tp = res.single.temporal
             coverages.append(tp.coverage if tp else 0.0)
-            stats = holder["pf"].store.stats
-            hit_rates.append(stats.hits / stats.lookups
-                             if stats.lookups else 0.0)
+            stats = res.probes["store_stats"]
+            hit_rates.append(stats["hits"] / stats["lookups"]
+                             if stats["lookups"] else 0.0)
         rows.append([length, correlations_per_block(length),
                      fmt(sum(hit_rates) / len(hit_rates)),
                      fmt(sum(coverages) / len(coverages)),
@@ -76,31 +77,29 @@ def run_fig12b(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    runner = get_runner()
+    cells = [(every_nth, aligned) for every_nth in sizes
+             for aligned in (True, False)]
+    jobs = []
+    for every_nth, aligned in cells:
+        sl = spec("streamline", stream_alignment=aligned, dynamic=False,
+                  initial_every_nth=every_nth)
+        jobs += [SimJob.single(wl, n, config, l1=STRIDE_L1, l2=(sl,),
+                               probes=("redundancy",))
+                 for wl in workloads]
+    results = iter(runner.run(jobs))
     rows = []
-    for every_nth in sizes:
-        for aligned in (True, False):
-            rates: List[float] = []
-            benign: List[float] = []
-            for wl in workloads:
-                trace = make(wl, n)
-                holder = {}
-
-                def factory():
-                    pf = StreamlinePrefetcher(
-                        stream_alignment=aligned, dynamic=False,
-                        initial_every_nth=every_nth)
-                    holder["pf"] = pf
-                    return pf
-
-                run_single(trace, config, l1_prefetcher=stride_l1,
-                           l2_prefetchers=[factory])
-                report = measure(holder["pf"].store)
-                rates.append(report.redundancy_rate)
-                benign.append(report.benign_fraction)
-            rows.append([f"1/{every_nth}",
-                         "align" if aligned else "no-align",
-                         fmt(sum(rates) / len(rates)),
-                         fmt(sum(benign) / len(benign))])
+    for every_nth, aligned in cells:
+        rates: List[float] = []
+        benign: List[float] = []
+        for _ in workloads:
+            report = next(results).probes["redundancy"]
+            rates.append(report["redundancy_rate"])
+            benign.append(report["benign_fraction"])
+        rows.append([f"1/{every_nth}",
+                     "align" if aligned else "no-align",
+                     fmt(sum(rates) / len(rates)),
+                     fmt(sum(benign) / len(benign))])
     notes = ("paper: stream alignment halves redundancy; ~31% of "
              "remaining redundancy is benign (context-disambiguating)")
     return ExperimentResult("fig12b", ["store_size", "alignment",
@@ -115,25 +114,24 @@ def run_fig12c(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    runner = get_runner()
+    jobs = []
+    for size in buffer_sizes:
+        sl = spec("streamline", buffer_size=size)
+        jobs += [SimJob.single(wl, n, config, l1=STRIDE_L1, l2=(sl,),
+                               probes=("alignment",))
+                 for wl in workloads]
+    results = iter(runner.run(jobs))
     rows = []
     for size in buffer_sizes:
         align_rates: List[float] = []
         coverages: List[float] = []
-        for wl in workloads:
-            trace = make(wl, n)
-            holder = {}
-
-            def factory():
-                pf = StreamlinePrefetcher(buffer_size=size)
-                holder["pf"] = pf
-                return pf
-
-            res = run_single(trace, config, l1_prefetcher=stride_l1,
-                             l2_prefetchers=[factory])
-            pf = holder["pf"]
-            completed = max(1, pf.completed_streams)
-            align_rates.append(pf.alignments / completed)
-            tp = res.temporal
+        for _ in workloads:
+            res = next(results)
+            counters = res.probes["alignment"]
+            completed = max(1, counters["completed_streams"])
+            align_rates.append(counters["alignments"] / completed)
+            tp = res.single.temporal
             coverages.append(tp.coverage if tp else 0.0)
         rows.append([size, fmt(sum(align_rates) / len(align_rates)),
                      fmt(sum(coverages) / len(coverages))])

@@ -13,15 +13,12 @@ hierarchy "1MB" means half the (scaled) LLC, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.streamline import StreamlinePrefetcher
-from ..prefetchers.triangel import TriangelPrefetcher
-from ..sim.engine import run_single
+from ..runner import PrefetcherSpec, SimJob, get_runner, spec
 from ..sim.stats import geomean
-from ..workloads import make
-from .common import (ExperimentResult, env_n, experiment_config, fmt,
-                     stride_l1, workload_set)
+from .common import (STRIDE_L1, ExperimentResult, env_n,
+                     experiment_config, fmt, run_matrix, workload_set)
 
 #: label -> (streamline every_nth, triangel ways); "1MB" = half the LLC.
 SIZES: Dict[str, Tuple[int, int]] = {
@@ -31,13 +28,13 @@ SIZES: Dict[str, Tuple[int, int]] = {
 }
 
 
-def _config_factories(label: str) -> Dict[str, Callable]:
+def _config_specs(label: str) -> Dict[str, PrefetcherSpec]:
     every_nth, ways = SIZES[label]
     return {
-        f"triangel@{label}": lambda: TriangelPrefetcher(
-            initial_ways=ways, adaptive=False),
-        f"streamline@{label}": lambda: StreamlinePrefetcher(
-            dynamic=False, initial_every_nth=every_nth),
+        f"triangel@{label}": spec("triangel", initial_ways=ways,
+                                  adaptive=False),
+        f"streamline@{label}": spec("streamline", dynamic=False,
+                                    initial_every_nth=every_nth),
     }
 
 
@@ -47,21 +44,13 @@ def run_fig13a(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
-    speedups: Dict[str, List[float]] = {}
-    for wl in workloads:
-        trace = make(wl, n)
-        base = run_single(trace, config, l1_prefetcher=stride_l1)
-        for label in SIZES:
-            for name, factory in _config_factories(label).items():
-                res = run_single(trace, config, l1_prefetcher=stride_l1,
-                                 l2_prefetchers=[factory])
-                speedups.setdefault(name, []).append(res.ipc / base.ipc)
-        ideal = run_single(
-            trace, config, l1_prefetcher=stride_l1,
-            l2_prefetchers=[lambda: TriangelPrefetcher(
-                initial_ways=8, adaptive=False, dedicated=True)])
-        speedups.setdefault("triangel-ideal@1MB", []).append(
-            ideal.ipc / base.ipc)
+    configs: Dict[str, PrefetcherSpec] = {}
+    for label in SIZES:
+        configs.update(_config_specs(label))
+    configs["triangel-ideal@1MB"] = spec("triangel", initial_ways=8,
+                                         adaptive=False, dedicated=True)
+    runs = run_matrix(workloads, n, configs, config=config)
+    speedups = {name: [r.speedup(name) for r in runs] for name in configs}
     rows = [[name, fmt(geomean(vals))]
             for name, vals in sorted(speedups.items())]
     sl_half = geomean(speedups["streamline@0.5MB"])
@@ -78,17 +67,21 @@ def run_fig13b(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    runner = get_runner()
+    jobs = []
+    for label in SIZES:
+        for name, s in _config_specs(label).items():
+            jobs += [SimJob.single(wl, n, config, l1=STRIDE_L1, l2=(s,))
+                     for wl in workloads]
+    results = iter(runner.run(jobs))
     rows = []
     for label in SIZES:
         traffic = {"triangel": 0, "streamline": 0}
-        for wl in workloads:
-            trace = make(wl, n)
-            for name, factory in _config_factories(label).items():
-                res = run_single(trace, config, l1_prefetcher=stride_l1,
-                                 l2_prefetchers=[factory])
-                tp = res.temporal
-                key = "triangel" if name.startswith("triangel") \
-                    else "streamline"
+        for name in _config_specs(label):
+            key = "triangel" if name.startswith("triangel") \
+                else "streamline"
+            for _ in workloads:
+                tp = next(results).single.temporal
                 traffic[key] += tp.metadata_traffic_bytes
         ratio = (traffic["streamline"] / traffic["triangel"]
                  if traffic["triangel"] else 0.0)
@@ -115,29 +108,27 @@ def run_fig13c(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    runner = get_runner()
+    policies = ("tp-mockingjay", "srrip")
+    jobs = []
+    for wl in workloads:
+        for policy in policies:
+            sl = spec("streamline", replacement=policy, dynamic=False,
+                      initial_every_nth=1, meta_ways=meta_ways)
+            jobs.append(SimJob.single(wl, n, config, l1=STRIDE_L1,
+                                      l2=(sl,), probes=("store_stats",)))
+    results = iter(runner.run(jobs))
     rows = []
     totals = {"tp-mockingjay": [0, 0], "srrip": [0, 0]}
     for wl in workloads:
-        trace = make(wl, n)
         row = [wl]
-        for policy in ("tp-mockingjay", "srrip"):
-            holder = {}
-
-            def factory():
-                pf = StreamlinePrefetcher(replacement=policy,
-                                          dynamic=False,
-                                          initial_every_nth=1,
-                                          meta_ways=meta_ways)
-                holder["pf"] = pf
-                return pf
-
-            run_single(trace, config, l1_prefetcher=stride_l1,
-                       l2_prefetchers=[factory])
-            stats = holder["pf"].store.stats
-            rate = stats.hits / stats.lookups if stats.lookups else 0.0
+        for policy in policies:
+            stats = next(results).probes["store_stats"]
+            rate = stats["hits"] / stats["lookups"] \
+                if stats["lookups"] else 0.0
             row.append(fmt(rate))
-            totals[policy][0] += stats.hits
-            totals[policy][1] += stats.lookups
+            totals[policy][0] += stats["hits"]
+            totals[policy][1] += stats["lookups"]
         rows.append(row)
     overall = {p: (h / max(1, l)) for p, (h, l) in totals.items()}
     rows.append(["OVERALL", fmt(overall["tp-mockingjay"]),

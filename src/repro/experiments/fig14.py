@@ -3,7 +3,8 @@
 Adds each component on top of the unoptimized stream-based prefetcher
 and removes each from the full design, reporting coverage, accuracy,
 speedup, and off-chip traffic -- the four panels of the paper's figure.
-Triangel is included as the reference line.
+Triangel is included as the reference line.  Variants are addressed as
+``variant:<name>`` specs so the jobs stay serializable.
 """
 
 from __future__ import annotations
@@ -11,12 +12,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core.variants import named_variants
-from ..prefetchers.triangel import TriangelPrefetcher
-from ..sim.engine import run_single
+from ..runner import VARIANT_PREFIX, spec
 from ..sim.stats import geomean
-from ..workloads import make
 from .common import (ExperimentResult, env_n, experiment_config, fmt,
-                     stride_l1, workload_set)
+                     run_matrix, workload_set)
 
 
 def run(n: Optional[int] = None,
@@ -24,23 +23,22 @@ def run(n: Optional[int] = None,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
-    variants = {"triangel": TriangelPrefetcher}
-    variants.update(named_variants())
+    variants = {"triangel": spec("triangel")}
+    for name in named_variants():
+        variants[name] = spec(VARIANT_PREFIX + name)
 
+    runs = run_matrix(workloads, n, variants, config=config)
     rows = []
-    for name, factory in variants.items():
+    for name in variants:
         speedups, coverages, accuracies, offchip = [], [], [], []
-        for wl in workloads:
-            trace = make(wl, n)
-            base = run_single(trace, config, l1_prefetcher=stride_l1)
-            res = run_single(trace, config, l1_prefetcher=stride_l1,
-                             l2_prefetchers=[factory])
-            speedups.append(res.ipc / base.ipc)
+        for r in runs:
+            res = r.results[name]
+            speedups.append(res.ipc / r.baseline.ipc)
             tp = res.temporal
             coverages.append(tp.coverage if tp else 0.0)
             accuracies.append(tp.accuracy if tp else 0.0)
             offchip.append(res.offchip_bytes
-                           / max(1, base.offchip_bytes))
+                           / max(1, r.baseline.offchip_bytes))
         k = len(workloads)
         rows.append([name, fmt(sum(coverages) / k),
                      fmt(sum(accuracies) / k), fmt(geomean(speedups)),

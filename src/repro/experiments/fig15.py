@@ -9,29 +9,26 @@ partitioning (beats even the unfiltered cache by relieving pressure).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..core.streamline import StreamlinePrefetcher
-from ..sim.engine import run_single
+from ..runner import PrefetcherSpec, spec
 from ..sim.stats import geomean
-from ..workloads import make
 from .common import (ExperimentResult, env_n, experiment_config, fmt,
-                     stride_l1, workload_set)
+                     run_matrix, workload_set)
 
 
-def _variants(every_nth: int) -> Dict[str, Callable]:
+def _variants(every_nth: int) -> Dict[str, PrefetcherSpec]:
     common = dict(dynamic=False, initial_every_nth=every_nth)
     return {
-        "unfiltered (RTS)": lambda: StreamlinePrefetcher(
-            indexing="rearranged", realignment=False, **common),
-        "filtered, no realign": lambda: StreamlinePrefetcher(
-            realignment=False, **common),
-        "filtered + realign": lambda: StreamlinePrefetcher(**common),
-        "filtered + skewed": lambda: StreamlinePrefetcher(
-            skewed=True, **common),
-        "hybrid (sets/2, ways/2)": lambda: StreamlinePrefetcher(
-            dynamic=False, initial_every_nth=max(1, every_nth // 2),
-            meta_ways=4),
+        "unfiltered (RTS)": spec("streamline", indexing="rearranged",
+                                 realignment=False, **common),
+        "filtered, no realign": spec("streamline", realignment=False,
+                                     **common),
+        "filtered + realign": spec("streamline", **common),
+        "filtered + skewed": spec("streamline", skewed=True, **common),
+        "hybrid (sets/2, ways/2)": spec(
+            "streamline", dynamic=False,
+            initial_every_nth=max(1, every_nth // 2), meta_ways=4),
     }
 
 
@@ -40,16 +37,15 @@ def run(n: Optional[int] = None, every_nth: int = 4,
     n = n or env_n(40_000)
     workloads = list(workloads or workload_set("component"))
     config = experiment_config()
+    variants = _variants(every_nth)
+    runs = run_matrix(workloads, n, variants, config=config)
     rows = []
     results: Dict[str, float] = {}
-    for name, factory in _variants(every_nth).items():
+    for name in variants:
         speedups, coverages = [], []
-        for wl in workloads:
-            trace = make(wl, n)
-            base = run_single(trace, config, l1_prefetcher=stride_l1)
-            res = run_single(trace, config, l1_prefetcher=stride_l1,
-                             l2_prefetchers=[factory])
-            speedups.append(res.ipc / base.ipc)
+        for r in runs:
+            res = r.results[name]
+            speedups.append(res.ipc / r.baseline.ipc)
             tp = res.temporal
             coverages.append(tp.coverage if tp else 0.0)
         g = geomean(speedups)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..sim.stats import geomean
-from .common import (PREFETCHER_FACTORIES, ExperimentResult, env_n, fmt,
+from .common import (PREFETCHER_SPECS, ExperimentResult, env_n, fmt,
                      irregular_subset, run_matrix, suite_geomeans,
                      workload_set)
 
@@ -21,7 +21,7 @@ def run(n: Optional[int] = None,
         workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     n = n or env_n()
     workloads = list(workloads or workload_set("full"))
-    runs = run_matrix(workloads, n, PREFETCHER_FACTORIES)
+    runs = run_matrix(workloads, n, PREFETCHER_SPECS)
     # Memory-intensive filter (paper: >1 LLC MPKI on the baseline).
     runs = [r for r in runs if r.baseline.llc_mpki > 1.0]
     irregular = set(irregular_subset([r.workload for r in runs], n))

@@ -12,7 +12,8 @@ from typing import Optional, Sequence
 
 from ..analysis.partition_table import build_table
 from ..analysis.tpmin import compare
-from ..workloads import make
+from ..runner import get_trace
+from ..workloads import DEFAULT_SEED
 from .common import (ExperimentResult, env_n, experiment_config, fmt,
                      workload_set)
 
@@ -50,7 +51,7 @@ def run_tpmin(n: Optional[int] = None,
     workloads = list(workloads or workload_set("component"))
     rows = []
     for wl in workloads:
-        trace = make(wl, n)
+        trace = get_trace(wl, n, DEFAULT_SEED)
         for cap in capacities:
             res = compare(trace, cap)
             m, t = res["min"], res["tp-min"]

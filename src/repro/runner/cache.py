@@ -1,0 +1,121 @@
+"""Two-level result cache: per-process memo + on-disk store.
+
+Level 1 is a plain dict keyed by job fingerprint, shared by every
+experiment in the process, so cross-figure duplicates (the same stride
+baseline appears in Fig. 9, Fig. 10d/e, Fig. 13a, ...) are computed
+once.  Level 2 persists pickled :class:`JobResult`s under
+``benchmarks/.simcache/`` so re-running a bench after an unrelated code
+change is near-instant.
+
+Knobs:
+
+* ``REPRO_CACHE=0`` — disable the on-disk level (memo still applies).
+* ``REPRO_CACHE_DIR`` — override the cache directory.
+
+The fingerprint covers every job parameter plus a schema version
+(:data:`repro.runner.jobs.SCHEMA_VERSION`); it does *not* hash the
+simulator source, so bump the schema (or ``clear()`` / delete the
+directory) after semantically changing the engine.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .jobs import JobResult
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") not in ("", "0")
+
+
+def default_cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    # Editable/source checkouts keep the cache next to the bench results.
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / ".simcache"
+    return pathlib.Path.home() / ".cache" / "repro-simcache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; the bench harness snapshots these."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"memo_hits": self.memo_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Fingerprint-keyed memo with an optional pickle directory behind it."""
+
+    def __init__(self, directory: Optional[pathlib.Path] = None,
+                 persistent: Optional[bool] = None):
+        self.persistent = cache_enabled() if persistent is None \
+            else persistent
+        self.directory = pathlib.Path(directory) if directory \
+            else default_cache_dir()
+        self.memo: Dict[str, JobResult] = {}
+        self.stats = CacheStats()
+
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        return self.directory / f"{fingerprint}.pkl"
+
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        hit = self.memo.get(fingerprint)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit
+        if self.persistent:
+            path = self._path(fingerprint)
+            try:
+                with open(path, "rb") as fh:
+                    result = pickle.load(fh)
+            # pickle.load raises essentially anything on garbage bytes
+            # (ValueError, KeyError, ... beyond UnpicklingError), so any
+            # unreadable entry is a miss — never a crashed run.
+            except Exception:
+                pass  # missing or stale entry: recompute
+            else:
+                self.memo[fingerprint] = result
+                self.stats.disk_hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, result: JobResult) -> None:
+        self.memo[fingerprint] = result
+        self.stats.stores += 1
+        if not self.persistent:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Atomic write: a killed run must never leave a torn pickle.
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(fingerprint))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self, disk: bool = True) -> None:
+        self.memo.clear()
+        if disk and self.directory.is_dir():
+            shutil.rmtree(self.directory, ignore_errors=True)

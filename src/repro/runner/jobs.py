@@ -1,0 +1,150 @@
+"""Simulation job descriptors.
+
+A :class:`SimJob` canonically keys one simulation:
+``(workloads, n, seed, config, l1 spec, l2 specs, probes)``.  Jobs are
+frozen, picklable (they cross process boundaries), and fingerprintable
+(the sha256 of their canonical JSON keys the result cache), so the same
+logical run — say the stride baseline on ``gap.pr`` that Fig. 9,
+Fig. 10d/e, and Fig. 13a all need — is computed exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..sim.config import SystemConfig
+from ..sim.multicore import MulticoreResult
+from ..sim.stats import SimResult
+from ..workloads import DEFAULT_SEED
+from .probes import run_probes
+from .specs import PrefetcherSpec, as_spec
+from .traces import get_trace
+
+#: Bump to invalidate every on-disk cache entry after a semantic change
+#: to the engine or workload generators.
+SCHEMA_VERSION = 1
+
+SINGLE = "single"
+MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, canonically keyed."""
+
+    kind: str                           # SINGLE | MULTI
+    workloads: Tuple[str, ...]
+    n: int                              # accesses (per core for MULTI)
+    seed: int
+    config: SystemConfig
+    l1: Optional[PrefetcherSpec] = None
+    l2: Tuple[PrefetcherSpec, ...] = ()
+    probes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SINGLE, MULTI):
+            raise ValueError(f"kind must be {SINGLE!r} or {MULTI!r}")
+        if self.kind == SINGLE and len(self.workloads) != 1:
+            raise ValueError("single-core jobs take exactly one workload")
+        if not self.workloads:
+            raise ValueError("job needs at least one workload")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def single(cls, workload: str, n: int, config: SystemConfig,
+               l1=None, l2: Sequence = (), seed: int = DEFAULT_SEED,
+               probes: Sequence[str] = ()) -> "SimJob":
+        return cls(SINGLE, (workload,), n, seed, config, as_spec(l1),
+                   tuple(as_spec(s) for s in l2), tuple(probes))
+
+    @classmethod
+    def multi(cls, workloads: Sequence[str], n_per_core: int,
+              config: SystemConfig, l1=None, l2: Sequence = (),
+              seed: int = DEFAULT_SEED,
+              probes: Sequence[str] = ()) -> "SimJob":
+        return cls(MULTI, tuple(workloads), n_per_core, seed, config,
+                   as_spec(l1), tuple(as_spec(s) for s in l2),
+                   tuple(probes))
+
+    # -- identity ----------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-friendly, key-sorted description of the job."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "workloads": list(self.workloads),
+            "n": self.n,
+            "seed": self.seed,
+            "config": dataclasses.asdict(self.config),
+            "l1": self.l1.canonical() if self.l1 else None,
+            "l2": [s.canonical() for s in self.l2],
+            "probes": list(self.probes),
+        }
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self.canonical(), sort_keys=True,
+                          default=repr).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self) -> "JobResult":
+        """Run the simulation in this process (deterministic)."""
+        from ..sim.engine import run_single
+        from ..sim.multicore import run_multicore
+
+        created: list = []
+
+        def capture(s: PrefetcherSpec):
+            def factory():
+                pf = s.build()
+                created.append(pf)
+                return pf
+            return factory
+
+        l1_factory = self.l1.factory() if self.l1 else None
+        l2_factories = [capture(s) for s in self.l2]
+        if self.kind == SINGLE:
+            trace = get_trace(self.workloads[0], self.n, self.seed)
+            value: Union[SimResult, MulticoreResult] = run_single(
+                trace, self.config, l1_prefetcher=l1_factory,
+                l2_prefetchers=l2_factories)
+        else:
+            traces = [get_trace(wl, self.n, self.seed)
+                      for wl in self.workloads]
+            value = run_multicore(traces, self.config,
+                                  l1_prefetcher=l1_factory,
+                                  l2_prefetchers=l2_factories)
+        probe_values = run_probes(self.probes, created)
+        return JobResult(value=value, probes=probe_values)
+
+
+@dataclass
+class JobResult:
+    """What a job yields: the engine result plus any probe payloads."""
+
+    value: Union[SimResult, MulticoreResult]
+    probes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def single(self) -> SimResult:
+        if not isinstance(self.value, SimResult):
+            raise TypeError("job produced a multi-core result")
+        return self.value
+
+    @property
+    def multicore(self) -> MulticoreResult:
+        if not isinstance(self.value, MulticoreResult):
+            raise TypeError("job produced a single-core result")
+        return self.value
+
+
+def execute_job(job: SimJob) -> JobResult:
+    """Module-level entry point (picklable) for pool workers."""
+    return job.execute()

@@ -1,0 +1,78 @@
+"""Named post-run probes.
+
+Several figures need component statistics that live on the prefetcher
+instance (store hit rates, alignment counters, redundancy analyses).
+With jobs executing in worker processes the instance never reaches the
+caller, so jobs name *probes*: registered functions run in-worker right
+after the simulation, over the L2 prefetcher instances the job
+constructed, returning plain data that travels (and caches) with the
+:class:`~repro.runner.jobs.JobResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..prefetchers.base import Prefetcher
+
+ProbeFn = Callable[[Sequence[Prefetcher]], Any]
+
+_PROBES: Dict[str, ProbeFn] = {}
+
+
+def register_probe(name: str, fn: ProbeFn) -> None:
+    _PROBES[name] = fn
+
+
+def get_probe(name: str) -> ProbeFn:
+    try:
+        return _PROBES[name]
+    except KeyError:
+        raise ValueError(f"unknown probe {name!r}; "
+                         f"registered: {sorted(_PROBES)}") from None
+
+
+def run_probes(names: Sequence[str],
+               prefetchers: Sequence[Prefetcher]) -> Dict[str, Any]:
+    return {name: get_probe(name)(prefetchers) for name in names}
+
+
+# -- built-ins -----------------------------------------------------------------
+
+def _with_store(prefetchers: Sequence[Prefetcher]) -> List[Prefetcher]:
+    return [pf for pf in prefetchers
+            if getattr(pf, "store", None) is not None]
+
+
+def _store_stats(prefetchers: Sequence[Prefetcher]) -> Dict[str, int]:
+    """Metadata-store lookup/hit totals (trigger hit rate)."""
+    hits = lookups = 0
+    for pf in _with_store(prefetchers):
+        hits += pf.store.stats.hits
+        lookups += pf.store.stats.lookups
+    return {"hits": hits, "lookups": lookups}
+
+
+def _redundancy(prefetchers: Sequence[Prefetcher]) -> Dict[str, float]:
+    """Redundancy analysis over the first metadata store (Fig. 12b)."""
+    from ..analysis.redundancy import measure
+    for pf in _with_store(prefetchers):
+        report = measure(pf.store)
+        return {"redundancy_rate": report.redundancy_rate,
+                "benign_fraction": report.benign_fraction}
+    return {"redundancy_rate": 0.0, "benign_fraction": 0.0}
+
+
+def _alignment(prefetchers: Sequence[Prefetcher]) -> Dict[str, int]:
+    """Stream completion/alignment counters (Fig. 12c)."""
+    completed = alignments = 0
+    for pf in prefetchers:
+        if hasattr(pf, "completed_streams"):
+            completed += pf.completed_streams
+            alignments += pf.alignments
+    return {"completed_streams": completed, "alignments": alignments}
+
+
+register_probe("store_stats", _store_stats)
+register_probe("redundancy", _redundancy)
+register_probe("alignment", _alignment)

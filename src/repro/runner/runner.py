@@ -1,0 +1,92 @@
+"""The batch runner: cache lookup, dedup, and process-pool fan-out.
+
+``SimRunner.run(jobs)`` preserves input order, computes each distinct
+fingerprint at most once, serves repeats from the two-level cache, and
+spreads cold jobs over a ``ProcessPoolExecutor``.  Worker count comes
+from ``REPRO_JOBS`` (default ``os.cpu_count()``); ``REPRO_JOBS=1``
+bypasses the pool entirely — a pure in-process serial path for debugging
+and determinism checks.  Simulations are seeded and deterministic, so
+serial and parallel runs are bit-identical (asserted by
+``tests/test_runner.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .jobs import JobResult, SimJob, execute_job
+
+
+def env_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default: all cores)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+class SimRunner:
+    """Executes batches of :class:`SimJob` with caching and parallelism."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self._jobs = jobs
+        self.cache = cache if cache is not None else ResultCache()
+
+    @property
+    def workers(self) -> int:
+        return self._jobs if self._jobs is not None else env_jobs()
+
+    def run_one(self, job: SimJob) -> JobResult:
+        return self.run([job])[0]
+
+    def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+        """Run a batch; returns results in input order."""
+        fingerprints = [job.fingerprint() for job in jobs]
+        # Dedup within the batch and against the cache.
+        pending: Dict[str, SimJob] = {}
+        for job, fp in zip(jobs, fingerprints):
+            if fp in pending:
+                continue
+            if self.cache.get(fp) is None:
+                pending[fp] = job
+        if pending:
+            for fp, result in zip(pending,
+                                  self._execute(list(pending.values()))):
+                self.cache.put(fp, result)
+        out = []
+        for fp in fingerprints:
+            result = self.cache.memo.get(fp)
+            assert result is not None, f"job {fp} produced no result"
+            out.append(result)
+        return out
+
+    def _execute(self, jobs: List[SimJob]) -> List[JobResult]:
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            return [job.execute() for job in jobs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs))
+
+
+_DEFAULT_CACHE: Optional[ResultCache] = None
+_DEFAULT_RUNNER: Optional[SimRunner] = None
+
+
+def get_runner() -> SimRunner:
+    """The process-wide default runner (shared memo across experiments)."""
+    global _DEFAULT_CACHE, _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_CACHE = ResultCache()
+        _DEFAULT_RUNNER = SimRunner(cache=_DEFAULT_CACHE)
+    return _DEFAULT_RUNNER
+
+
+def reset_runner() -> None:
+    """Drop the default runner (tests re-point the cache via env knobs)."""
+    global _DEFAULT_CACHE, _DEFAULT_RUNNER
+    _DEFAULT_CACHE = None
+    _DEFAULT_RUNNER = None

@@ -1,0 +1,51 @@
+"""Per-process trace cache.
+
+Trace generation is pure — ``make(workload, n, seed)`` always yields the
+same trace — but not free (~100K-record numpy builds), and one
+experiment asks for the same trace dozens of times (baseline + every
+config, every mix containing the workload).  This module memoizes traces
+per process under a bounded LRU so each ``(workload, n, seed)`` is
+generated once per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Tuple
+
+from ..sim.trace import Trace
+from ..workloads import make
+
+#: LRU bound; a trace is a few MB at bench scale.
+DEFAULT_CAPACITY = 64
+
+_cache: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+
+
+def _capacity() -> int:
+    return int(os.environ.get("REPRO_TRACE_CACHE", DEFAULT_CAPACITY))
+
+
+def get_trace(workload: str, n: int, seed: int) -> Trace:
+    """The memoized trace for one workload instantiation."""
+    key = (workload, n, seed)
+    hit = _cache.get(key)
+    if hit is not None:
+        _cache.move_to_end(key)
+        return hit
+    trace = make(workload, n, seed)
+    cap = _capacity()
+    if cap > 0:
+        _cache[key] = trace
+        while len(_cache) > cap:
+            _cache.popitem(last=False)
+    return trace
+
+
+def cache_size() -> int:
+    return len(_cache)
+
+
+def clear() -> None:
+    _cache.clear()

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.config import SystemConfig
 from repro.sim.trace import TraceBuilder
+
+# Keep the suite hermetic: never read results persisted by earlier (and
+# possibly semantically different) builds.  Cache tests opt back in with
+# explicit ResultCache instances.
+os.environ.setdefault("REPRO_CACHE", "0")
 
 
 @pytest.fixture
