@@ -34,8 +34,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..memory.events import EV
 from ..memory.metadata_store import PartitionController
-from ..prefetchers.base import Prefetcher
+from ..prefetchers.base import Prefetcher, TRAIN_SCOPE_TEMPORAL
 from .alignment import align, find_alignable, realign
 from .degree import FixedDegreeController, StabilityDegreeController
 from .metadata_store import StreamStore
@@ -73,6 +74,7 @@ class StreamlinePrefetcher(Prefetcher):
 
     name = "streamline"
     level = "l2"
+    train_scope = TRAIN_SCOPE_TEMPORAL
 
     def __init__(self, stream_length: int = 4, degree: int = 4,
                  buffer_size: int = 3, stream_alignment: bool = True,
@@ -152,13 +154,19 @@ class StreamlinePrefetcher(Prefetcher):
             correlations_per_hit=self.stream_length)
         self._apply_partition(self.initial_every_nth)
         # Dueling happens at the LLC: observe every core's demand
-        # traffic to the sets this core's partition controls.
+        # traffic to the sets this core's partition controls.  The bus
+        # publishes the LLC access event *before* the tag lookup, so a
+        # partition resize here can still invalidate the line the lookup
+        # is about to find — as in the hardware race it models.
         self._stripe = (hier.core_id, cores)
         if self.dynamic:
-            hier.uncore.llc_observers.append(self._on_llc_demand)
+            hier.bus.subscribe(EV.ACCESS, self._on_llc_demand)
 
-    def _on_llc_demand(self, blk: int) -> None:
+    def _on_llc_demand(self, ev) -> None:
         """LLC-side dueling feed (any core's demand access)."""
+        if ev.origin != "demand":
+            return
+        blk = ev.blk
         offset, step = self._stripe
         llc_set = blk % (self.partitioner.llc_sets * step)
         if llc_set % step != offset:

@@ -3,7 +3,9 @@
 from .address import BLOCK_SIZE, addr_of, block_of, fold_hash, hash32
 from .cache import AccessResult, Cache, CacheStats, Line
 from .dram import DRAM, DRAMStats
-from .hierarchy import CoreHierarchy, SharedUncore
+from .events import EV, EventBus, HierarchyEvent
+from .hierarchy import CacheLevel, CoreHierarchy, SharedUncore, UncoreLevel
+from .request import LevelOutcome, MemoryRequest
 from .metadata_store import MetadataTraffic, PartitionController
 from .replacement import (HawkeyeLitePolicy, LRUPolicy, RandomPolicy,
                           ReplacementPolicy, SRRIPPolicy, make_policy)
@@ -12,7 +14,9 @@ __all__ = [
     "BLOCK_SIZE", "addr_of", "block_of", "fold_hash", "hash32",
     "AccessResult", "Cache", "CacheStats", "Line",
     "DRAM", "DRAMStats",
-    "CoreHierarchy", "SharedUncore",
+    "EV", "EventBus", "HierarchyEvent",
+    "CacheLevel", "CoreHierarchy", "SharedUncore", "UncoreLevel",
+    "LevelOutcome", "MemoryRequest",
     "MetadataTraffic", "PartitionController",
     "HawkeyeLitePolicy", "LRUPolicy", "RandomPolicy", "ReplacementPolicy",
     "SRRIPPolicy", "make_policy",

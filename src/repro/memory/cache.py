@@ -148,7 +148,8 @@ class Cache:
         """Tag check with no side effects."""
         set_idx = self.set_of(blk)
         nd = self._data_ways[set_idx]
-        return any(l.valid and l.blk == blk for l in self.lines[set_idx][:nd])
+        return any(line.valid and line.blk == blk
+                   for line in self.lines[set_idx][:nd])
 
     def lookup(self, blk: int, now: float, is_write: bool = False,
                touch: bool = True) -> AccessResult:
@@ -247,5 +248,6 @@ class Cache:
         for set_idx in range(self.num_sets):
             nd = self._data_ways[set_idx]
             total += nd
-            valid += sum(1 for l in self.lines[set_idx][:nd] if l.valid)
+            valid += sum(1 for line in self.lines[set_idx][:nd]
+                         if line.valid)
         return valid / total if total else 0.0

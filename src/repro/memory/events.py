@@ -1,0 +1,135 @@
+"""Hierarchy event bus: first-class observation of the request pipeline.
+
+Every interesting thing the hierarchy does — a lookup resolving, a fill,
+an eviction, a prefetch being issued or resolving useful/useless, a
+metadata block crossing the LLC port — is published as a
+:class:`HierarchyEvent` on the :class:`EventBus`.  Prefetcher training,
+usefulness crediting, partition-controller dueling, and post-run probes
+all subscribe to the bus instead of being called inline from the demand
+path, so adding a new observer (or a new cache level) never requires
+editing :meth:`CoreHierarchy.access`.
+
+Events are delivered synchronously, in subscription order, at the exact
+point the demand path used to invoke the corresponding hook — the bus is
+an indirection, not a queue, so results are bit-identical to the old
+hand-wired code.
+
+The bus also counts every published event by ``(kind, level, origin)``
+even when nobody subscribes.  Those counters are the basis of the
+stats-conservation checks (``tests/test_conservation.py``): bus counts
+must agree with the per-cache :class:`~repro.memory.cache.CacheStats`
+counters, which catches double-count bugs in the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .request import DEMAND
+
+
+class EV:
+    """Event-kind taxonomy (string constants, stable across versions)."""
+
+    #: A request arrives at a level, *before* the tag lookup.  Published
+    #: at the LLC for every descent (demand and prefetch); partition
+    #: controllers duel on these, pre-lookup, because a partition resize
+    #: may invalidate the very line the lookup is about to find.
+    ACCESS = "access"
+    LOOKUP_HIT = "lookup-hit"
+    LOOKUP_MISS = "lookup-miss"
+    FILL = "fill"
+    EVICTION = "eviction"
+    PREFETCH_ISSUED = "prefetch-issued"
+    PREFETCH_DROPPED = "prefetch-dropped"
+    PREFETCH_USEFUL = "prefetch-useful"
+    PREFETCH_USELESS = "prefetch-useless"
+    METADATA_READ = "metadata-read"
+    METADATA_WRITE = "metadata-write"
+    #: A demand access that reached the L2 has fully resolved (all fills
+    #: done).  L2 prefetcher training subscribes here: training runs
+    #: after the demand fills, exactly as the unrolled path did.
+    DEMAND_COMPLETE = "demand-complete"
+
+    ALL = (ACCESS, LOOKUP_HIT, LOOKUP_MISS, FILL, EVICTION,
+           PREFETCH_ISSUED, PREFETCH_DROPPED, PREFETCH_USEFUL,
+           PREFETCH_USELESS, METADATA_READ, METADATA_WRITE,
+           DEMAND_COMPLETE)
+
+
+@dataclass
+class HierarchyEvent:
+    """One observation from the hierarchy."""
+
+    __slots__ = ("kind", "level", "core_id", "blk", "pc", "origin",
+                 "now", "hit", "was_prefetched", "owner", "dirty")
+
+    kind: str
+    level: str          # "l1d" | "l2" | "llc"
+    core_id: int
+    blk: int
+    pc: int
+    origin: str         # request origin: demand/prefetch/writeback/metadata
+    now: float
+    hit: bool
+    was_prefetched: bool
+    owner: int
+    dirty: bool
+
+
+Subscriber = Callable[[HierarchyEvent], None]
+
+#: Event counters are keyed by (kind, level, origin).
+CountKey = Tuple[str, str, str]
+
+
+class EventBus:
+    """Synchronous pub/sub with per-(kind, level, origin) counters."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Subscriber]] = {}
+        self.counts: Dict[CountKey, int] = {}
+
+    def subscribe(self, kind: str, fn: Subscriber) -> None:
+        """Register ``fn`` for ``kind``; delivery in subscription order."""
+        if kind not in EV.ALL:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self._subs.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: str, fn: Subscriber) -> None:
+        subs = self._subs.get(kind)
+        if subs and fn in subs:
+            subs.remove(fn)
+
+    def publish(self, kind: str, level: str, core_id: int, blk: int,
+                pc: int = 0, origin: str = DEMAND, now: float = 0.0,
+                hit: bool = False, was_prefetched: bool = False,
+                owner: int = -1, dirty: bool = False) -> None:
+        """Count the event and deliver it to subscribers, synchronously."""
+        key = (kind, level, origin)
+        counts = self.counts
+        counts[key] = counts.get(key, 0) + 1
+        subs = self._subs.get(kind)
+        if not subs:
+            return
+        event = HierarchyEvent(kind, level, core_id, blk, pc, origin,
+                               now, hit, was_prefetched, owner, dirty)
+        for fn in subs:
+            fn(event)
+
+    # -- counter helpers ---------------------------------------------------
+
+    def count(self, kind: str, level: str = "", origin: str = "") -> int:
+        """Total events matching ``kind`` (optionally level/origin)."""
+        return sum(n for (k, lv, og), n in self.counts.items()
+                   if k == kind and (not level or lv == level)
+                   and (not origin or og == origin))
+
+    def counts_flat(self) -> Dict[str, int]:
+        """Counters as ``"kind@level:origin" -> n`` (JSON/pickle friendly)."""
+        return {f"{k}@{lv}:{og}": n
+                for (k, lv, og), n in sorted(self.counts.items())}
+
+    def reset_counts(self) -> None:
+        self.counts = {}

@@ -1,36 +1,57 @@
-"""Three-level memory hierarchy with prefetcher attachment points.
+"""Three-level memory hierarchy as a generic request pipeline.
 
 One :class:`CoreHierarchy` per core (private L1D + L2); the LLC, its
-single R/W port, and DRAM are shared across cores via :class:`SharedUncore`.
+single R/W port, and DRAM are shared across cores via
+:class:`SharedUncore`.  The demand path is a chain of
+:class:`CacheLevel` nodes terminated by an :class:`UncoreLevel`: a
+:class:`~repro.memory.request.MemoryRequest` recurses down the chain on
+a miss and fills on the way back up.  There is no per-level special
+casing in the demand path itself — everything level- or
+prefetcher-specific (training, usefulness crediting, partition dueling,
+probes) observes :class:`~repro.memory.events.EventBus` events instead.
 
 The flow per demand access matches the paper's setup:
 
-* L1D prefetchers (IP-stride, Berti) observe every L1D access and
-  prefetch into the L1D.
-* L2-level prefetchers observe L2 traffic.  Temporal prefetchers
-  (Triage/Triangel/Streamline) train **on L2 misses and on L2 hits to
-  prefetched lines** and prefetch into the L2 at max degree 4; regular L2
-  prefetchers (IPCP/Bingo/SPP-PPF) train on all L2 accesses.
+* L1D prefetchers (IP-stride, Berti) subscribe to L1D lookup events
+  (they observe every L1D access) and prefetch into the L1D.
+* L2-level prefetchers subscribe to ``demand-complete`` events, which
+  fire for every access that reached the L2.  Their
+  :attr:`~repro.prefetchers.base.Prefetcher.train_scope` declares what
+  trains them: ``"all_l2"`` (IPCP/Bingo/SPP-PPF) trains on every L2
+  access; ``"temporal_events"`` (Triage/Triangel/Streamline) trains on
+  L2 misses and on L2 hits to prefetched lines.  They prefetch into the
+  L2 at max degree 4.
 * Temporal metadata lives in an LLC partition; metadata reads/writes go
-  through the shared LLC port (modelled with a busy-until clock) and are
-  charged to the owning prefetcher's :class:`PartitionController`.
+  through the shared LLC port (modelled with a busy-until clock), are
+  charged to the owning prefetcher's :class:`PartitionController`, and
+  appear on the bus as ``metadata-read``/``metadata-write`` events.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from ..prefetchers.base import Prefetcher, PrefetcherStats
+from ..prefetchers.base import (Prefetcher, PrefetcherStats, TRAIN_SCOPES,
+                                TRAIN_SCOPE_ALL_L2)
 from .address import block_of
 from .cache import Cache, CacheStats
 from .dram import DRAM
+from .events import EV, EventBus, HierarchyEvent
+from .request import DEMAND, PREFETCH, WRITEBACK, MemoryRequest, LevelOutcome
 
 
 class SharedUncore:
-    """Shared LLC + port + DRAM, plus the global prefetcher registry."""
+    """Shared LLC + port + DRAM, the event bus, and the prefetcher registry.
+
+    The uncore owns the :class:`EventBus` because LLC-side events must
+    reach every core's observers (dynamic partitioners duel at the LLC,
+    so they see *every* core's demand traffic, as in hardware).  It also
+    routes prefetch bookkeeping events to the owning prefetcher's
+    :class:`PrefetcherStats`, replacing the old inline credit calls.
+    """
 
     def __init__(self, llc: Cache, dram: DRAM, port_occupancy: float = 1.0,
-                 num_cores: int = 1):
+                 num_cores: int = 1, bus: Optional[EventBus] = None):
         self.llc = llc
         self.dram = dram
         self.port_occupancy = port_occupancy
@@ -40,9 +61,11 @@ class SharedUncore:
         self._next_owner = 0
         self.demand_llc_accesses = 0
         self.metadata_llc_accesses = 0
-        # LLC-side observers (dynamic partitioners duel at the LLC, so
-        # they see *every* core's demand traffic, as in hardware).
-        self.llc_observers: List = []
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.subscribe(EV.PREFETCH_ISSUED, self._on_pf_issued)
+        self.bus.subscribe(EV.PREFETCH_DROPPED, self._on_pf_dropped)
+        self.bus.subscribe(EV.PREFETCH_USEFUL, self._on_pf_useful)
+        self.bus.subscribe(EV.PREFETCH_USELESS, self._on_pf_useless)
 
     def register(self, pf: Prefetcher) -> int:
         owner = self._next_owner
@@ -57,25 +80,198 @@ class SharedUncore:
         self._port_free = max(now, self._port_free) + self.port_occupancy
         return delay
 
-    def credit_useful(self, owner: int, blk: int, now: float) -> None:
-        pf = self.prefetchers.get(owner)
-        if pf is not None:
-            pf.note_useful(blk, now)
+    # -- prefetch bookkeeping (bus-driven) --------------------------------
 
-    def credit_useless(self, owner: int, blk: int, now: float) -> None:
-        pf = self.prefetchers.get(owner)
+    def _on_pf_issued(self, ev: HierarchyEvent) -> None:
+        pf = self.prefetchers.get(ev.owner)
         if pf is not None:
-            pf.note_useless(blk, now)
+            pf.stats.issued += 1
+
+    def _on_pf_dropped(self, ev: HierarchyEvent) -> None:
+        pf = self.prefetchers.get(ev.owner)
+        if pf is not None:
+            pf.stats.dropped += 1
+
+    def _on_pf_useful(self, ev: HierarchyEvent) -> None:
+        pf = self.prefetchers.get(ev.owner)
+        if pf is not None:
+            pf.note_useful(ev.blk, ev.now)
+
+    def _on_pf_useless(self, ev: HierarchyEvent) -> None:
+        pf = self.prefetchers.get(ev.owner)
+        if pf is not None:
+            pf.note_useless(ev.blk, ev.now)
 
     def reset_stats(self) -> None:
         self.llc.stats = CacheStats()
         self.dram.stats = type(self.dram.stats)()
         self.demand_llc_accesses = 0
         self.metadata_llc_accesses = 0
+        self.bus.reset_counts()
+
+
+class UncoreLevel:
+    """The chain terminal: shared LLC port + LLC + DRAM.
+
+    Presents the same ``access``/``writeback`` surface as
+    :class:`CacheLevel`, so private levels never know whether the thing
+    below them is another cache or the uncore.
+    """
+
+    name = "llc"
+
+    def __init__(self, uncore: SharedUncore, core_id: int):
+        self.uncore = uncore
+        self.core_id = core_id
+
+    def access(self, req: MemoryRequest) -> float:
+        """Access LLC (and DRAM on miss); fills the LLC on a miss.
+
+        Adds this level's whole contribution (port delay + LLC latency +
+        DRAM on a miss) to ``req.latency`` in one piece and returns it.
+        """
+        uncore = self.uncore
+        bus = uncore.bus
+        now = req.clock
+        delay = uncore.port_delay(now)
+        uncore.demand_llc_accesses += 1
+        bus.publish(EV.ACCESS, self.name, self.core_id, req.blk, pc=req.pc,
+                    origin=req.origin, now=now)
+        res = uncore.llc.lookup(req.blk, now + delay)
+        bus.publish(EV.LOOKUP_HIT if res.hit else EV.LOOKUP_MISS, self.name,
+                    self.core_id, req.blk, pc=req.pc, origin=req.origin,
+                    now=now, hit=res.hit, was_prefetched=res.was_prefetched,
+                    owner=res.owner)
+        lat = delay + res.latency
+        if res.hit:
+            req.outcomes.append(LevelOutcome(self.name, True,
+                                             res.was_prefetched, res.owner,
+                                             lat))
+            req.latency += lat
+            return lat
+        dram_lat = uncore.dram.access(req.blk, now + lat,
+                                      is_prefetch=req.origin == PREFETCH)
+        lat += dram_lat
+        evicted = uncore.llc.fill(req.blk, now + lat, req.pc)
+        bus.publish(EV.FILL, self.name, self.core_id, req.blk, pc=req.pc,
+                    origin=req.origin, now=now + lat)
+        if evicted is not None:
+            bus.publish(EV.EVICTION, self.name, self.core_id, evicted.blk,
+                        pc=evicted.pc, origin=req.origin, now=now + lat,
+                        owner=evicted.owner, dirty=evicted.dirty)
+            if evicted.dirty:
+                uncore.dram.access(evicted.blk, now + lat, is_write=True)
+        req.outcomes.append(LevelOutcome(self.name, False, latency=lat))
+        req.latency += lat
+        return lat
+
+    def writeback(self, blk: int, pc: int, now: float) -> None:
+        """A dirty line evicted from the level above lands in the LLC.
+
+        Off the critical path: the port slot is consumed, but nobody
+        waits on the queueing delay.
+        """
+        uncore = self.uncore
+        uncore.port_delay(now)
+        evicted = uncore.llc.fill(blk, now, pc, dirty=True)
+        uncore.bus.publish(EV.FILL, self.name, self.core_id, blk, pc=pc,
+                           origin=WRITEBACK, now=now, dirty=True)
+        if evicted is not None:
+            uncore.bus.publish(EV.EVICTION, self.name, self.core_id,
+                               evicted.blk, pc=evicted.pc, origin=WRITEBACK,
+                               now=now, owner=evicted.owner,
+                               dirty=evicted.dirty)
+            if evicted.dirty:
+                uncore.dram.access(evicted.blk, now, is_write=True)
+
+
+class CacheLevel:
+    """One private cache level: a generic link in a core's request chain.
+
+    Every level does the same four things — look up, descend on a miss,
+    fill on the way up, hand dirty victims to the level below — and
+    publishes the corresponding events.  Level differences (write
+    allocation at the L1D, port-mediated writebacks below the L2) live
+    in the *wiring*, not in per-level branches on the demand path.
+    """
+
+    def __init__(self, name: str, cache: Cache, core_id: int, bus: EventBus,
+                 below: Union["CacheLevel", UncoreLevel],
+                 sink_writes: bool = False):
+        self.name = name
+        self.cache = cache
+        self.core_id = core_id
+        self.bus = bus
+        self.below = below
+        #: Only the first level sees the access's write bit; dirtiness
+        #: enters lower levels through writebacks.
+        self.sink_writes = sink_writes
+
+    def access(self, req: MemoryRequest) -> float:
+        """Serve ``req`` at this level; returns the latency contribution."""
+        cache = self.cache
+        res = cache.lookup(req.blk, req.clock,
+                           req.is_write if self.sink_writes else False)
+        self.bus.publish(EV.LOOKUP_HIT if res.hit else EV.LOOKUP_MISS,
+                         self.name, self.core_id, req.blk, pc=req.pc,
+                         origin=req.origin, now=req.now, hit=res.hit,
+                         was_prefetched=res.was_prefetched, owner=res.owner)
+        if res.hit:
+            req.latency += res.latency
+            req.outcomes.append(LevelOutcome(self.name, True,
+                                             res.was_prefetched, res.owner,
+                                             res.latency))
+            if res.was_prefetched:
+                self.bus.publish(EV.PREFETCH_USEFUL, self.name, self.core_id,
+                                 req.blk, origin=req.origin, now=req.now,
+                                 owner=res.owner)
+            return res.latency
+        req.latency += cache.latency
+        req.outcomes.append(LevelOutcome(self.name, False,
+                                         latency=cache.latency))
+        self.below.access(req)
+        self.fill(req.blk, req.clock, req.pc)
+        return req.latency
+
+    def fill(self, blk: int, ready: float, pc: int,
+             prefetch: bool = False, owner: int = -1,
+             origin: str = DEMAND) -> None:
+        """Install a block; credit and write back the victim if needed."""
+        evicted = self.cache.fill(blk, ready, pc, prefetch=prefetch,
+                                  owner=owner)
+        self.bus.publish(EV.FILL, self.name, self.core_id, blk, pc=pc,
+                         origin=PREFETCH if prefetch else origin, now=ready,
+                         owner=owner)
+        if evicted is None:
+            return
+        self.bus.publish(EV.EVICTION, self.name, self.core_id, evicted.blk,
+                         pc=evicted.pc, origin=origin, now=ready,
+                         owner=evicted.owner, dirty=evicted.dirty)
+        if evicted.prefetched and not evicted.pf_touched:
+            self.bus.publish(EV.PREFETCH_USELESS, self.name, self.core_id,
+                             evicted.blk, now=ready, owner=evicted.owner)
+        if evicted.dirty:
+            self.below.writeback(evicted.blk, evicted.pc, ready)
+
+    def writeback(self, blk: int, pc: int, now: float) -> None:
+        """Absorb a dirty victim from the level above.
+
+        The cascade (a victim of the writeback fill itself) is
+        intentionally not modelled at private levels; only the uncore
+        propagates writeback victims onward to DRAM.
+        """
+        evicted = self.cache.fill(blk, now, pc, dirty=True)
+        self.bus.publish(EV.FILL, self.name, self.core_id, blk, pc=pc,
+                         origin=WRITEBACK, now=now, dirty=True)
+        if evicted is not None:
+            self.bus.publish(EV.EVICTION, self.name, self.core_id,
+                             evicted.blk, pc=evicted.pc, origin=WRITEBACK,
+                             now=now, owner=evicted.owner,
+                             dirty=evicted.dirty)
 
 
 class CoreHierarchy:
-    """One core's private caches plus its view of the shared uncore."""
+    """One core's private level chain plus its view of the shared uncore."""
 
     def __init__(self, core_id: int, l1d: Cache, l2: Cache,
                  uncore: SharedUncore):
@@ -83,6 +279,16 @@ class CoreHierarchy:
         self.l1d = l1d
         self.l2 = l2
         self.uncore = uncore
+        self.bus = uncore.bus
+        # The request pipeline: L1D -> L2 -> shared uncore.  Adding a
+        # level (e.g. an L3 victim cache) is an insertion here, not an
+        # access-path rewrite.
+        self.uncore_level = UncoreLevel(uncore, core_id)
+        self.l2_level = CacheLevel("l2", l2, core_id, self.bus,
+                                   self.uncore_level)
+        self.l1_level = CacheLevel("l1d", l1d, core_id, self.bus,
+                                   self.l2_level, sink_writes=True)
+        self.levels: List[CacheLevel] = [self.l1_level, self.l2_level]
         self.l1_prefetcher: Optional[Prefetcher] = None
         self.l2_prefetchers: List[Prefetcher] = []
         # Demand L2 misses that had to go below (the "uncovered" count in
@@ -97,61 +303,43 @@ class CoreHierarchy:
         pf.hier = self
         self.l1_prefetcher = pf
         pf.attach(self)
+        self.bus.subscribe(EV.LOOKUP_HIT, self._make_l1_trainer(pf))
+        self.bus.subscribe(EV.LOOKUP_MISS, self._make_l1_trainer(pf))
 
     def attach_l2_prefetcher(self, pf: Prefetcher) -> None:
+        if pf.train_scope not in TRAIN_SCOPES:
+            raise ValueError(
+                f"{pf.name}: train_scope must be one of {TRAIN_SCOPES}, "
+                f"got {pf.train_scope!r}")
         self.uncore.register(pf)
         pf.hier = self
         self.l2_prefetchers.append(pf)
         pf.attach(self)
+        self.bus.subscribe(EV.DEMAND_COMPLETE, self._make_l2_trainer(pf))
 
-    # -- lower-level path -----------------------------------------------------
+    def _make_l1_trainer(self, pf: Prefetcher):
+        """L1D training: every demand lookup at this core's L1D."""
+        def train(ev: HierarchyEvent) -> None:
+            if ev.level != "l1d" or ev.core_id != self.core_id:
+                return
+            for cand in pf.train(ev.pc, ev.blk, ev.hit, ev.was_prefetched,
+                                 ev.now):
+                self.issue_prefetch(cand, ev.pc, ev.now, pf.owner_id, "l1d")
+        return train
 
-    def _below_l2(self, blk: int, now: float, pc: int,
-                  is_prefetch: bool) -> float:
-        """Access LLC (and DRAM on miss); fills the LLC; returns latency."""
-        uncore = self.uncore
-        delay = uncore.port_delay(now)
-        uncore.demand_llc_accesses += 1
-        if not is_prefetch:
-            for observer in uncore.llc_observers:
-                observer(blk)
-        res = uncore.llc.lookup(blk, now + delay)
-        lat = delay + res.latency
-        if res.hit:
-            return lat
-        dram_lat = uncore.dram.access(blk, now + lat, is_prefetch=is_prefetch)
-        lat += dram_lat
-        evicted = uncore.llc.fill(blk, now + lat, pc)
-        if evicted is not None and evicted.dirty:
-            uncore.dram.access(evicted.blk, now + lat, is_write=True)
-        return lat
+    def _make_l2_trainer(self, pf: Prefetcher):
+        """L2 training: gated by the prefetcher's declared train_scope."""
+        all_l2 = pf.train_scope == TRAIN_SCOPE_ALL_L2
 
-    def _fill_l2(self, blk: int, ready: float, pc: int,
-                 prefetch: bool = False, owner: int = -1) -> None:
-        evicted = self.l2.fill(blk, ready, pc, prefetch=prefetch, owner=owner)
-        if evicted is None:
-            return
-        if evicted.prefetched and not evicted.pf_touched:
-            self.uncore.credit_useless(evicted.owner, evicted.blk, ready)
-        if evicted.dirty:
-            # Write back into the LLC (port + fill; off critical path).
-            now = ready
-            self.uncore.port_delay(now)
-            wb_evicted = self.uncore.llc.fill(evicted.blk, now, evicted.pc,
-                                              dirty=True)
-            if wb_evicted is not None and wb_evicted.dirty:
-                self.uncore.dram.access(wb_evicted.blk, now, is_write=True)
-
-    def _fill_l1(self, blk: int, ready: float, pc: int,
-                 prefetch: bool = False, owner: int = -1) -> None:
-        evicted = self.l1d.fill(blk, ready, pc, prefetch=prefetch,
-                                owner=owner)
-        if evicted is None:
-            return
-        if evicted.prefetched and not evicted.pf_touched:
-            self.uncore.credit_useless(evicted.owner, evicted.blk, ready)
-        if evicted.dirty:
-            self.l2.fill(evicted.blk, ready, evicted.pc, dirty=True)
+        def train(ev: HierarchyEvent) -> None:
+            if ev.core_id != self.core_id:
+                return
+            if all_l2 or not ev.hit or ev.was_prefetched:
+                for cand in pf.train(ev.pc, ev.blk, ev.hit,
+                                     ev.was_prefetched, ev.now):
+                    self.issue_prefetch(cand, ev.pc, ev.now, pf.owner_id,
+                                        "l2")
+        return train
 
     # -- prefetch issue ---------------------------------------------------------
 
@@ -162,24 +350,36 @@ class CoreHierarchy:
         Returns False (and counts a drop) if the block is already cached
         at or above the target level.
         """
-        pf = self.uncore.prefetchers[owner]
         if target == "l1d":
             if self.l1d.probe(blk):
-                pf.stats.dropped += 1
+                self.bus.publish(EV.PREFETCH_DROPPED, "l1d", self.core_id,
+                                 blk, pc=pc, origin=PREFETCH, now=now,
+                                 owner=owner)
                 return False
             if self.l2.probe(blk):
-                lat = self.l2.latency
+                lat: float = self.l2.latency
             else:
-                lat = self.l2.latency + self._below_l2(blk, now, pc, True)
-                self._fill_l2(blk, now + lat, pc)  # fill on the way up
-            self._fill_l1(blk, now + lat, pc, prefetch=True, owner=owner)
+                req = MemoryRequest(pc, blk * 64, blk, False, PREFETCH,
+                                    self.core_id, now, owner=owner)
+                lat = self.l2.latency + self.uncore_level.access(req)
+                self.l2_level.fill(blk, now + lat, pc)  # fill on the way up
+            self.l1_level.fill(blk, now + lat, pc, prefetch=True,
+                               owner=owner, origin=PREFETCH)
+            self.bus.publish(EV.PREFETCH_ISSUED, "l1d", self.core_id, blk,
+                             pc=pc, origin=PREFETCH, now=now, owner=owner)
         else:
             if self.l2.probe(blk):
-                pf.stats.dropped += 1
+                self.bus.publish(EV.PREFETCH_DROPPED, "l2", self.core_id,
+                                 blk, pc=pc, origin=PREFETCH, now=now,
+                                 owner=owner)
                 return False
-            lat = self._below_l2(blk, now, pc, True)
-            self._fill_l2(blk, now + lat, pc, prefetch=True, owner=owner)
-        pf.stats.issued += 1
+            req = MemoryRequest(pc, blk * 64, blk, False, PREFETCH,
+                                self.core_id, now, owner=owner)
+            lat = self.uncore_level.access(req)
+            self.l2_level.fill(blk, now + lat, pc, prefetch=True,
+                               owner=owner, origin=PREFETCH)
+            self.bus.publish(EV.PREFETCH_ISSUED, "l2", self.core_id, blk,
+                             pc=pc, origin=PREFETCH, now=now, owner=owner)
         return True
 
     # -- temporal metadata path --------------------------------------------------
@@ -188,6 +388,8 @@ class CoreHierarchy:
         """One metadata block access through the shared LLC port."""
         self.uncore.metadata_llc_accesses += 1
         delay = self.uncore.port_delay(now)
+        self.bus.publish(EV.METADATA_WRITE if is_write else EV.METADATA_READ,
+                         "llc", self.core_id, -1, origin="metadata", now=now)
         return delay + self.uncore.llc.latency
 
     # -- the demand path ---------------------------------------------------------
@@ -195,39 +397,19 @@ class CoreHierarchy:
     def access(self, pc: int, addr: int, is_write: bool,
                now: float) -> float:
         """One demand access; returns its load-to-use latency in cycles."""
-        blk = block_of(addr)
         self.demand_accesses += 1
-        r1 = self.l1d.lookup(blk, now, is_write)
-        if self.l1_prefetcher is not None:
-            for cand in self.l1_prefetcher.train(
-                    pc, blk, r1.hit, r1.was_prefetched, now):
-                self.issue_prefetch(cand, pc, now,
-                                    self.l1_prefetcher.owner_id, "l1d")
-        if r1.hit:
-            if r1.was_prefetched:
-                self.uncore.credit_useful(r1.owner, blk, now)
-            return r1.latency
-
-        lat = self.l1d.latency
-        r2 = self.l2.lookup(blk, now + lat)
-        if r2.hit:
-            lat += r2.latency
-            if r2.was_prefetched:
-                self.uncore.credit_useful(r2.owner, blk, now)
-        else:
-            lat += self.l2.latency
-            self.uncovered_misses += 1
-            lat += self._below_l2(blk, now + lat, pc, False)
-            self._fill_l2(blk, now + lat, pc)
-        self._fill_l1(blk, now + lat, pc)
-
-        # L2-level prefetcher training.
-        for pf in self.l2_prefetchers:
-            temporal_event = (not r2.hit) or r2.was_prefetched
-            if getattr(pf, "train_on_all_l2", False) or temporal_event:
-                for cand in pf.train(pc, blk, r2.hit, r2.was_prefetched, now):
-                    self.issue_prefetch(cand, pc, now, pf.owner_id, "l2")
-        return lat
+        req = MemoryRequest(pc, addr, block_of(addr), is_write, DEMAND,
+                            self.core_id, now)
+        self.levels[0].access(req)
+        l2_out = req.outcome("l2")
+        if l2_out is not None:
+            if not l2_out.hit:
+                self.uncovered_misses += 1
+            self.bus.publish(EV.DEMAND_COMPLETE, "l2", self.core_id, req.blk,
+                             pc=pc, origin=DEMAND, now=now, hit=l2_out.hit,
+                             was_prefetched=l2_out.was_prefetched,
+                             owner=l2_out.owner)
+        return req.latency
 
     # -- stats ----------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""The memory request that flows through the hierarchy's level chain.
+
+A :class:`MemoryRequest` is created once per demand access (and once per
+prefetch issue) and threaded through the generic
+:class:`~repro.memory.hierarchy.CacheLevel` chain.  Each level appends a
+:class:`LevelOutcome` and adds its latency contribution, so by the time
+the request returns to the core the full per-level history of the access
+is available — which level hit, whether the line was prefetched and by
+whom, and how much latency each level charged.  Observers on the
+:class:`~repro.memory.events.EventBus` receive the same information as
+events; the request object is what ties one access's events together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Request origins.  ``WRITEBACK`` and ``METADATA`` never build full
+#: requests today; they appear as event origins on the bus.
+DEMAND = "demand"
+PREFETCH = "prefetch"
+WRITEBACK = "writeback"
+METADATA = "metadata"
+
+ORIGINS = (DEMAND, PREFETCH, WRITEBACK, METADATA)
+
+
+@dataclass
+class LevelOutcome:
+    """What one cache level did with a request."""
+
+    level: str                    # "l1d" | "l2" | "llc"
+    hit: bool
+    was_prefetched: bool = False  # first demand touch of a prefetched line
+    owner: int = -1               # prefetcher that brought the line in
+    latency: float = 0.0          # this level's latency contribution
+
+
+@dataclass
+class MemoryRequest:
+    """One access flowing down (and back up) the hierarchy.
+
+    ``now`` is the cycle the core issued the access; ``latency`` is the
+    accumulated load-to-use latency so far, so ``clock`` is the cycle at
+    which the request is acting at the current level.
+    """
+
+    pc: int
+    addr: int
+    blk: int
+    is_write: bool
+    origin: str
+    core_id: int
+    now: float
+    latency: float = 0.0
+    owner: int = -1               # issuing prefetcher (prefetch origin)
+    outcomes: List[LevelOutcome] = field(default_factory=list)
+
+    @property
+    def clock(self) -> float:
+        """The cycle at which the request currently stands."""
+        return self.now + self.latency
+
+    def outcome(self, level: str) -> Optional[LevelOutcome]:
+        """The recorded outcome at ``level``, if the request got there."""
+        for out in self.outcomes:
+            if out.level == level:
+                return out
+        return None

@@ -18,7 +18,16 @@ the prefetcher's ``owner_id``, and reports usefulness back through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, ClassVar, List, Optional
+
+#: L2 training scopes.  ``"all_l2"`` prefetchers (IPCP, Bingo, SPP-PPF —
+#: and the L1D prefetchers, which see every access at their own level)
+#: train on every demand access that reaches the L2.
+#: ``"temporal_events"`` prefetchers (Triage, Triangel, Streamline) train
+#: only on L2 misses and on L2 hits to prefetched lines.
+TRAIN_SCOPE_ALL_L2 = "all_l2"
+TRAIN_SCOPE_TEMPORAL = "temporal_events"
+TRAIN_SCOPES = (TRAIN_SCOPE_ALL_L2, TRAIN_SCOPE_TEMPORAL)
 
 
 @dataclass
@@ -45,14 +54,24 @@ class PrefetcherStats:
 
 
 class Prefetcher:
-    """Base class; subclasses override :meth:`train`."""
+    """Base class; subclasses override :meth:`train`.
+
+    Every concrete subclass must declare :attr:`train_scope` — what L2
+    traffic trains it — explicitly; the hierarchy validates the value at
+    attach time (see :data:`TRAIN_SCOPES`).
+    """
 
     name = "none"
     level = "l2"
+    #: What trains this prefetcher when attached at the L2 (declared per
+    #: subclass; replaces the old ``getattr(pf, "train_on_all_l2")`` probe).
+    train_scope: ClassVar[str] = TRAIN_SCOPE_TEMPORAL
 
     def __init__(self) -> None:
         self.stats = PrefetcherStats()
         self.owner_id = -1      # assigned by the hierarchy at attach time
+        #: Back-reference set by CoreHierarchy.attach_*_prefetcher.
+        self.hier: Optional[Any] = None
 
     def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
               now: float) -> List[int]:
@@ -81,6 +100,7 @@ class NullPrefetcher(Prefetcher):
     """No prefetching; the baseline denominator for every speedup."""
 
     name = "none"
+    train_scope = TRAIN_SCOPE_TEMPORAL
 
     def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,
               now: float) -> List[int]:

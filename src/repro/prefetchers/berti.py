@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict, defaultdict
 from typing import Dict, List, Tuple
 
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_ALL_L2
 
 
 class _BertiEntry:
@@ -32,6 +32,7 @@ class BertiPrefetcher(Prefetcher):
 
     name = "berti"
     level = "l1d"
+    train_scope = TRAIN_SCOPE_ALL_L2
 
     def __init__(self, history: int = 16, max_deltas: int = 3,
                  epoch: int = 256, min_score: int = 30,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_ALL_L2
 
 REGION_BLOCKS = 32  # 2KB regions of 64B blocks
 
@@ -32,7 +32,7 @@ class BingoPrefetcher(Prefetcher):
 
     name = "bingo"
     level = "l2"
-    train_on_all_l2 = True
+    train_scope = TRAIN_SCOPE_ALL_L2
 
     def __init__(self, trackers: int = 64, history_size: int = 2048,
                  max_degree: int = 8):

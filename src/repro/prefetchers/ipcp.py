@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List
 
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_ALL_L2
 
 REGION_BLOCKS = 32  # 2KB regions
 
@@ -40,7 +40,7 @@ class IPCPPrefetcher(Prefetcher):
 
     name = "ipcp"
     level = "l2"
-    train_on_all_l2 = True
+    train_scope = TRAIN_SCOPE_ALL_L2
 
     def __init__(self, table_size: int = 128, cs_degree: int = 3,
                  gs_degree: int = 4, cplx_degree: int = 2):

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_ALL_L2
 
 PAGE_BLOCKS = 64  # 4KB pages
 SIG_BITS = 12
@@ -28,7 +28,7 @@ class SPPPrefetcher(Prefetcher):
 
     name = "spp-ppf"
     level = "l2"
-    train_on_all_l2 = True
+    train_scope = TRAIN_SCOPE_ALL_L2
 
     def __init__(self, pages: int = 256, lookahead: int = 4,
                  confidence_threshold: float = 0.25,

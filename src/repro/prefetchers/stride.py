@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_ALL_L2
 
 
 class _StrideEntry:
@@ -26,6 +26,7 @@ class StridePrefetcher(Prefetcher):
 
     name = "ip-stride"
     level = "l1d"
+    train_scope = TRAIN_SCOPE_ALL_L2
 
     def __init__(self, degree: int = 3, table_size: int = 256,
                  min_confidence: int = 2):

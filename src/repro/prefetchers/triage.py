@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..memory.metadata_store import PartitionController
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_TEMPORAL
 from .pairwise import PairwiseStore, TrainingUnit
 
 
@@ -27,6 +27,7 @@ class TriagePrefetcher(Prefetcher):
 
     name = "triage"
     level = "l2"
+    train_scope = TRAIN_SCOPE_TEMPORAL
 
     def __init__(self, degree: int = 4, initial_ways: int = 8,
                  max_ways: int = 8, resize_epoch: int = 20_000,
@@ -109,6 +110,7 @@ class IdealTriage(Prefetcher):
 
     name = "triage-ideal"
     level = "l2"
+    train_scope = TRAIN_SCOPE_TEMPORAL
 
     def __init__(self, degree: int = 4):
         super().__init__()

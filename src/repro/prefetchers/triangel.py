@@ -28,8 +28,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..memory.events import EV
 from ..memory.metadata_store import PartitionController
-from .base import Prefetcher
+from .base import Prefetcher, TRAIN_SCOPE_TEMPORAL
 from .pairwise import PairwiseStore
 
 
@@ -134,6 +135,7 @@ class TriangelPrefetcher(Prefetcher):
 
     name = "triangel"
     level = "l2"
+    train_scope = TRAIN_SCOPE_TEMPORAL
 
     def __init__(self, degree: int = 4, max_ways: int = 8,
                  initial_ways: int = 4, resize_epoch: int = 20_000,
@@ -187,9 +189,12 @@ class TriangelPrefetcher(Prefetcher):
         self._stripe = (hier.core_id, cores)
         self._duel_events = 0
         if self.adaptive and not self.dedicated:
-            hier.uncore.llc_observers.append(self._on_llc_demand)
+            hier.bus.subscribe(EV.ACCESS, self._on_llc_demand)
 
-    def _on_llc_demand(self, blk: int) -> None:
+    def _on_llc_demand(self, ev) -> None:
+        if ev.origin != "demand":
+            return
+        blk = ev.blk
         offset, step = self._stripe
         llc_set = blk % (self.partitioner.llc_sets * step)
         if llc_set % step != offset:

@@ -15,7 +15,7 @@ Knobs: ``REPRO_JOBS`` (worker count; ``1`` = in-process serial),
 from .cache import CacheStats, ResultCache, cache_enabled, \
     default_cache_dir
 from .jobs import JobResult, SimJob, execute_job
-from .probes import register_probe, run_probes
+from .probes import ProbeContext, register_probe, run_probes
 from .runner import SimRunner, env_jobs, get_runner, reset_runner
 from .specs import VARIANT_PREFIX, PrefetcherSpec, as_spec, register, \
     spec
@@ -23,6 +23,7 @@ from .traces import get_trace
 
 __all__ = ["CacheStats", "ResultCache", "cache_enabled",
            "default_cache_dir", "JobResult", "SimJob", "execute_job",
-           "register_probe", "run_probes", "SimRunner", "env_jobs",
+           "ProbeContext", "register_probe", "run_probes",
+           "SimRunner", "env_jobs",
            "get_runner", "reset_runner", "PrefetcherSpec", "as_spec",
            "register", "spec", "get_trace", "VARIANT_PREFIX"]

@@ -20,13 +20,16 @@ from ..sim.config import SystemConfig
 from ..sim.multicore import MulticoreResult
 from ..sim.stats import SimResult
 from ..workloads import DEFAULT_SEED
-from .probes import run_probes
+from .probes import ProbeContext, run_probes
 from .specs import PrefetcherSpec, as_spec
 from .traces import get_trace
 
 #: Bump to invalidate every on-disk cache entry after a semantic change
 #: to the engine or workload generators.
-SCHEMA_VERSION = 1
+#: v2: unified Engine + request-pipeline/event-bus hierarchy (results are
+#: numerically identical to v1, but SimResult gained the ``events``
+#: payload, so cached v1 pickles are conservatively invalidated).
+SCHEMA_VERSION = 2
 
 SINGLE = "single"
 MULTI = "multi"
@@ -96,32 +99,30 @@ class SimJob:
 
     def execute(self) -> "JobResult":
         """Run the simulation in this process (deterministic)."""
-        from ..sim.engine import run_single
-        from ..sim.multicore import run_multicore
-
-        created: list = []
-
-        def capture(s: PrefetcherSpec):
-            def factory():
-                pf = s.build()
-                created.append(pf)
-                return pf
-            return factory
+        from ..sim.engine import Engine
+        from ..sim.multicore import build_multicore
 
         l1_factory = self.l1.factory() if self.l1 else None
-        l2_factories = [capture(s) for s in self.l2]
+        l2_factories = [s.build for s in self.l2]
         if self.kind == SINGLE:
             trace = get_trace(self.workloads[0], self.n, self.seed)
-            value: Union[SimResult, MulticoreResult] = run_single(
-                trace, self.config, l1_prefetcher=l1_factory,
-                l2_prefetchers=l2_factories)
+            config = self.config
+            if config.num_cores != 1:
+                config = config.scaled(num_cores=1)
+            engine = Engine([trace], config, l1_prefetcher=l1_factory,
+                            l2_prefetchers=l2_factories)
+            value: Union[SimResult, MulticoreResult] = \
+                engine.run().collect()[0]
         else:
             traces = [get_trace(wl, self.n, self.seed)
                       for wl in self.workloads]
-            value = run_multicore(traces, self.config,
-                                  l1_prefetcher=l1_factory,
-                                  l2_prefetchers=l2_factories)
-        probe_values = run_probes(self.probes, created)
+            engine = build_multicore(traces, self.config,
+                                     l1_prefetcher=l1_factory,
+                                     l2_prefetchers=l2_factories)
+            value = MulticoreResult(cores=engine.run().collect())
+        context = ProbeContext(prefetchers=engine.l2_prefetchers,
+                               engine=engine)
+        probe_values = run_probes(self.probes, context)
         return JobResult(value=value, probes=probe_values)
 
 

@@ -1,21 +1,55 @@
 """Named post-run probes.
 
-Several figures need component statistics that live on the prefetcher
-instance (store hit rates, alignment counters, redundancy analyses).
-With jobs executing in worker processes the instance never reaches the
-caller, so jobs name *probes*: registered functions run in-worker right
-after the simulation, over the L2 prefetcher instances the job
-constructed, returning plain data that travels (and caches) with the
+Several figures need component statistics that live on the simulation's
+live objects (store hit rates, alignment counters, redundancy analyses,
+event-bus counters).  With jobs executing in worker processes those
+objects never reach the caller, so jobs name *probes*: registered
+functions run in-worker right after the simulation, over a
+:class:`ProbeContext` exposing the engine the job constructed, returning
+plain data that travels (and caches) with the
 :class:`~repro.runner.jobs.JobResult`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from ..prefetchers.base import Prefetcher
 
-ProbeFn = Callable[[Sequence[Prefetcher]], Any]
+if TYPE_CHECKING:
+    from ..memory.events import EventBus
+    from ..memory.hierarchy import CoreHierarchy, SharedUncore
+    from ..sim.engine import Engine
+
+
+@dataclass
+class ProbeContext:
+    """What a probe can see: the finished simulation, still in memory.
+
+    ``prefetchers`` are the job's L2 prefetcher instances in attach
+    order across cores (the view the original probe API exposed);
+    ``engine`` is the whole simulated system, giving probes the event
+    bus, per-core hierarchies, and the shared uncore.
+    """
+
+    prefetchers: Sequence[Prefetcher]
+    engine: Optional["Engine"] = None
+
+    @property
+    def bus(self) -> Optional["EventBus"]:
+        return self.engine.bus if self.engine is not None else None
+
+    @property
+    def cores(self) -> Sequence["CoreHierarchy"]:
+        return self.engine.cores if self.engine is not None else ()
+
+    @property
+    def uncore(self) -> Optional["SharedUncore"]:
+        return self.engine.uncore if self.engine is not None else None
+
+
+ProbeFn = Callable[[ProbeContext], Any]
 
 _PROBES: Dict[str, ProbeFn] = {}
 
@@ -33,46 +67,53 @@ def get_probe(name: str) -> ProbeFn:
 
 
 def run_probes(names: Sequence[str],
-               prefetchers: Sequence[Prefetcher]) -> Dict[str, Any]:
-    return {name: get_probe(name)(prefetchers) for name in names}
+               context: ProbeContext) -> Dict[str, Any]:
+    return {name: get_probe(name)(context) for name in names}
 
 
 # -- built-ins -----------------------------------------------------------------
 
-def _with_store(prefetchers: Sequence[Prefetcher]) -> List[Prefetcher]:
-    return [pf for pf in prefetchers
+def _with_store(context: ProbeContext) -> List[Prefetcher]:
+    return [pf for pf in context.prefetchers
             if getattr(pf, "store", None) is not None]
 
 
-def _store_stats(prefetchers: Sequence[Prefetcher]) -> Dict[str, int]:
+def _store_stats(context: ProbeContext) -> Dict[str, int]:
     """Metadata-store lookup/hit totals (trigger hit rate)."""
     hits = lookups = 0
-    for pf in _with_store(prefetchers):
+    for pf in _with_store(context):
         hits += pf.store.stats.hits
         lookups += pf.store.stats.lookups
     return {"hits": hits, "lookups": lookups}
 
 
-def _redundancy(prefetchers: Sequence[Prefetcher]) -> Dict[str, float]:
+def _redundancy(context: ProbeContext) -> Dict[str, float]:
     """Redundancy analysis over the first metadata store (Fig. 12b)."""
     from ..analysis.redundancy import measure
-    for pf in _with_store(prefetchers):
+    for pf in _with_store(context):
         report = measure(pf.store)
         return {"redundancy_rate": report.redundancy_rate,
                 "benign_fraction": report.benign_fraction}
     return {"redundancy_rate": 0.0, "benign_fraction": 0.0}
 
 
-def _alignment(prefetchers: Sequence[Prefetcher]) -> Dict[str, int]:
+def _alignment(context: ProbeContext) -> Dict[str, int]:
     """Stream completion/alignment counters (Fig. 12c)."""
     completed = alignments = 0
-    for pf in prefetchers:
+    for pf in context.prefetchers:
         if hasattr(pf, "completed_streams"):
             completed += pf.completed_streams
             alignments += pf.alignments
     return {"completed_streams": completed, "alignments": alignments}
 
 
+def _bus_counts(context: ProbeContext) -> Dict[str, int]:
+    """Event-bus counters (``"kind@level:origin" -> n``) after the run."""
+    bus = context.bus
+    return bus.counts_flat() if bus is not None else {}
+
+
 register_probe("store_stats", _store_stats)
 register_probe("redundancy", _redundancy)
 register_probe("alignment", _alignment)
+register_probe("bus_counts", _bus_counts)

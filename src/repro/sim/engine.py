@@ -1,4 +1,4 @@
-"""Single-core trace-driven engine with a lightweight OoO timing proxy.
+"""Trace-driven engine with a lightweight OoO timing proxy.
 
 The core model is deliberately simple (see DESIGN.md): instructions issue
 at ``commit_width`` per cycle; loads occupy one of ``mlp`` miss slots
@@ -7,18 +7,28 @@ retirement once the ROB fills.  This yields the two effects temporal
 prefetching papers rely on: (1) covered misses shorten load latency, and
 (2) memory-level parallelism caps how much latency overlaps.
 
+One :class:`Engine` drives N cores over one shared uncore: with one core
+the min-heap interleave degenerates to the plain serial loop, and with
+several it always steps the core whose local clock is furthest behind,
+so shared structures (LLC contents, LLC port, DRAM channels) see
+accesses in an order consistent with the per-core clocks.
+:func:`run_single` and :mod:`repro.sim.multicore` are both thin
+front-ends over the same build/step/collect code.
+
 The engine owns warm-up handling: statistics are reset after the warm-up
 fraction so every reported number describes steady state.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from ..memory.cache import Cache
 from ..memory.dram import DRAM
+from ..memory.events import EventBus
 from ..memory.hierarchy import CoreHierarchy, SharedUncore
 from ..prefetchers.base import Prefetcher
 from .config import SystemConfig
@@ -26,6 +36,9 @@ from .stats import PrefetchReport, SimResult
 from .trace import Trace
 
 PrefetcherFactory = Callable[[], Prefetcher]
+
+#: One trace record: (pc, addr, is_write, gap, dep).
+Record = Tuple[int, int, bool, int, bool]
 
 
 class CoreModel:
@@ -115,9 +128,10 @@ def build_core(core_id: int, config: SystemConfig,
     return core
 
 
-def _collect_result(workload: str, core: CoreHierarchy, model: CoreModel,
-                    cycles: float, instructions: int,
-                    accesses: int) -> SimResult:
+def collect_result(workload: str, core: CoreHierarchy, model: CoreModel,
+                   cycles: float, instructions: int, accesses: int,
+                   events: Optional[Dict[str, int]] = None) -> SimResult:
+    """Assemble one core's steady-state statistics into a SimResult."""
     uncore = core.uncore
     reports: List[PrefetchReport] = []
     pfs = list(core.l2_prefetchers)
@@ -152,7 +166,135 @@ def _collect_result(workload: str, core: CoreHierarchy, model: CoreModel,
         dram_writes=uncore.dram.stats.writes,
         dram_queue_delay=uncore.dram.stats.avg_queue_delay,
         prefetchers=reports,
+        events=dict(events) if events is not None else None,
     )
+
+
+class Engine:
+    """One simulated system: N cores, their traces, and the shared uncore.
+
+    Build → :meth:`run` → :meth:`collect`.  The engine is parametric
+    over core count: :func:`run_single` wraps one-trace engines and
+    :func:`repro.sim.multicore.run_multicore` wraps N-trace engines
+    around the very same loop, which steps whichever core's local clock
+    is furthest behind (degenerating to the plain serial loop at N=1).
+    """
+
+    def __init__(self, traces: Sequence[Trace],
+                 config: Optional[SystemConfig] = None,
+                 l1_prefetcher: Optional[PrefetcherFactory] = None,
+                 l2_prefetchers: Sequence[PrefetcherFactory] = (),
+                 streams: Optional[Sequence[Iterable[Record]]] = None):
+        """``streams`` optionally overrides each core's record stream
+        (the multicore front-end passes region-biased views of the
+        traces); warm-up lengths and workload names still come from
+        ``traces``.
+        """
+        self.traces = list(traces)
+        if not self.traces:
+            raise ValueError("need at least one trace")
+        num_cores = len(self.traces)
+        config = config or SystemConfig()
+        if config.num_cores != num_cores:
+            config = config.scaled(num_cores=num_cores)
+        self.config = config
+        self.uncore = build_uncore(config)
+        self.bus: EventBus = self.uncore.bus
+        self.cores = [build_core(i, config, self.uncore, l1_prefetcher,
+                                 l2_prefetchers)
+                      for i in range(num_cores)]
+        self.models = [CoreModel(config) for _ in range(num_cores)]
+        if streams is not None and len(streams) != num_cores:
+            raise ValueError("need one record stream per trace")
+        self._streams = streams
+        self._warm_marks: List[Optional[Tuple[float, int]]] = \
+            [None] * num_cores
+        self._ran = False
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def l2_prefetchers(self) -> List[Prefetcher]:
+        """All attached L2 prefetchers, in attach order across cores."""
+        pfs: List[Prefetcher] = []
+        for core in self.cores:
+            pfs.extend(core.l2_prefetchers)
+        return pfs
+
+    @property
+    def prefetchers(self) -> List[Prefetcher]:
+        """Every registered prefetcher (L1 and L2), registration order."""
+        return list(self.uncore.prefetchers.values())
+
+    # -- stepping ------------------------------------------------------------
+
+    def run(self) -> "Engine":
+        """Drive every core through its trace, handling warm-up resets."""
+        if self._ran:
+            raise RuntimeError("Engine.run() may only be called once")
+        self._ran = True
+        num_cores = self.num_cores
+        iters: List[Iterator[Record]] = [
+            iter(s) for s in (self._streams if self._streams is not None
+                              else self.traces)]
+        warmups = [int(len(t) * self.config.warmup_fraction)
+                   for t in self.traces]
+        counts = [0] * num_cores
+        warmed = 0
+        # Min-heap keyed by core-local clock keeps shared-resource
+        # ordering consistent across cores.
+        heap = [(0.0, i) for i in range(num_cores)]
+        heapq.heapify(heap)
+        while heap:
+            _, i = heapq.heappop(heap)
+            try:
+                pc, addr, is_write, gap, dep = next(iters[i])
+            except StopIteration:
+                continue
+            model = self.models[i]
+            model.advance(gap)
+            now = model.issue_time(dep)
+            latency = self.cores[i].access(pc, addr, is_write, now)
+            model.complete_access(now, latency, is_write)
+            counts[i] += 1
+            if counts[i] == warmups[i] and self._warm_marks[i] is None:
+                model.drain()
+                self._warm_marks[i] = (model.clock, model.instrs)
+                self.cores[i].reset_stats()
+                warmed += 1
+                if warmed == num_cores:
+                    self.uncore.reset_stats()
+                    for pf in self.uncore.prefetchers.values():
+                        reset = getattr(pf, "reset_epoch_stats", None)
+                        if reset is not None:
+                            reset()
+            heapq.heappush(heap, (model.clock, i))
+        return self
+
+    # -- results ---------------------------------------------------------------
+
+    def collect(self) -> List[SimResult]:
+        """Drain every core and assemble per-core steady-state results.
+
+        Single-core engines also attach the event-bus counters to the
+        result (``SimResult.events``) for observability and the
+        conservation checks.
+        """
+        events = self.bus.counts_flat() if self.num_cores == 1 else None
+        results: List[SimResult] = []
+        for i, core in enumerate(self.cores):
+            model = self.models[i]
+            model.drain()
+            mark = self._warm_marks[i] or (0.0, 0)
+            cycles = model.clock - mark[0]
+            instrs = model.instrs - mark[1]
+            warmup = int(len(self.traces[i]) * self.config.warmup_fraction)
+            results.append(collect_result(
+                self.traces[i].name, core, model, cycles, instrs,
+                len(self.traces[i]) - warmup, events=events))
+        return results
 
 
 def run_single(trace: Trace, config: Optional[SystemConfig] = None,
@@ -163,29 +305,5 @@ def run_single(trace: Trace, config: Optional[SystemConfig] = None,
     config = config or SystemConfig()
     if config.num_cores != 1:
         config = config.scaled(num_cores=1)
-    uncore = build_uncore(config)
-    core = build_core(0, config, uncore, l1_prefetcher, l2_prefetchers)
-    model = CoreModel(config)
-
-    warmup = int(len(trace) * config.warmup_fraction)
-    warm_clock = 0.0
-    warm_instrs = 0
-    for i, (pc, addr, is_write, gap, dep) in enumerate(trace):
-        model.advance(gap)
-        now = model.issue_time(dep)
-        latency = core.access(pc, addr, is_write, now)
-        model.complete_access(now, latency, is_write)
-        if i + 1 == warmup:
-            model.drain()
-            warm_clock = model.clock
-            warm_instrs = model.instrs
-            core.reset_stats()
-            uncore.reset_stats()
-            for pf in uncore.prefetchers.values():
-                reset = getattr(pf, "reset_epoch_stats", None)
-                if reset is not None:
-                    reset()
-    cycles = model.drain() - warm_clock
-    instructions = model.instrs - warm_instrs
-    return _collect_result(trace.name, core, model, cycles, instructions,
-                           len(trace) - warmup)
+    engine = Engine([trace], config, l1_prefetcher, l2_prefetchers)
+    return engine.run().collect()[0]

@@ -1,34 +1,44 @@
-"""Multi-core engine: N cores sharing the LLC and DRAM.
+"""Multi-core front-end: N cores sharing the LLC and DRAM.
 
-Cores run their own traces and clocks; the engine interleaves them by
-always stepping the core whose local clock is furthest behind, so shared
-structures (LLC contents, LLC port, DRAM channels) see accesses in an
-order consistent with the per-core clocks.  This is the standard
-approximation for trace-driven multi-core simulation and captures the
-effects the paper's multi-core results hinge on: LLC capacity contention
-between data and (per-core) metadata partitions, LLC port contention
-from metadata traffic, and DRAM bandwidth contention from inaccurate
-prefetching.
+All the machinery — build, the clock-ordered interleave, warm-up, and
+collection — lives in :class:`repro.sim.engine.Engine`; this module only
+adds what is specific to multiprogrammed mixes: a disjoint per-core
+address region for each trace, and mix-level metrics (weighted speedup,
+IPC throughput) over the per-core results.
+
+The per-core regions matter because the synthetic workloads reuse the
+same virtual ranges: without separation, two cores running (say) lbm
+would alias in the shared LLC and fake sharing/thrashing that
+multiprogrammed mixes do not have.  Each trace is folded into its core's
+region by masking to ``REGION_BITS`` and installing the core index in
+the bits above — provably disjoint for any footprint, unlike a raw
+``addr + bias`` offset, which can collide once a trace's span crosses a
+region boundary.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
 
-from ..prefetchers.base import Prefetcher
 from .config import SystemConfig
-from .engine import CoreModel, PrefetcherFactory, _collect_result, \
-    build_core, build_uncore
+from .engine import Engine, PrefetcherFactory, Record
 from .stats import SimResult
 from .trace import Trace
 
+#: Bits of private address space per core.  Every biased address is
+#: ``(addr mod 2**REGION_BITS) | core << REGION_BITS``: region
+#: membership is determined by the high bits alone, so two cores can
+#: never touch the same block no matter their footprints.
+REGION_BITS = 44
+REGION_MASK = (1 << REGION_BITS) - 1
 
-def _biased(trace: Trace, bias: int):
-    """Yield trace records with every address offset by ``bias``."""
+
+def _biased(trace: Trace, core: int) -> Iterator[Record]:
+    """Yield trace records folded into ``core``'s private region."""
+    region = core << REGION_BITS
     for pc, addr, is_write, gap, dep in trace:
-        yield pc, addr + bias, is_write, gap, dep
+        yield pc, (addr & REGION_MASK) | region, is_write, gap, dep
 
 
 @dataclass
@@ -47,6 +57,20 @@ class MulticoreResult:
         return sum(c.ipc for c in self.cores)
 
 
+def build_multicore(traces: Sequence[Trace],
+                    config: Optional[SystemConfig] = None,
+                    l1_prefetcher: Optional[PrefetcherFactory] = None,
+                    l2_prefetchers: Sequence[PrefetcherFactory] = ()
+                    ) -> Engine:
+    """Build (but do not run) the shared-LLC engine for a mix."""
+    num_cores = len(traces)
+    if num_cores == 0:
+        raise ValueError("need at least one trace")
+    config = (config or SystemConfig()).scaled(num_cores=num_cores)
+    return Engine(traces, config, l1_prefetcher, l2_prefetchers,
+                  streams=[_biased(t, i) for i, t in enumerate(traces)])
+
+
 def run_multicore(traces: Sequence[Trace],
                   config: Optional[SystemConfig] = None,
                   l1_prefetcher: Optional[PrefetcherFactory] = None,
@@ -58,63 +82,5 @@ def run_multicore(traces: Sequence[Trace],
     core, so every core gets private prefetcher state (as in the paper:
     per-core training units, shared LLC metadata capacity).
     """
-    num_cores = len(traces)
-    if num_cores == 0:
-        raise ValueError("need at least one trace")
-    config = (config or SystemConfig()).scaled(num_cores=num_cores)
-    uncore = build_uncore(config)
-    cores = [build_core(i, config, uncore, l1_prefetcher, l2_prefetchers)
-             for i in range(num_cores)]
-    models = [CoreModel(config) for _ in range(num_cores)]
-    # Each core gets a private address-space bias: the synthetic
-    # workloads reuse the same virtual regions, and without the bias two
-    # cores running (say) lbm would alias in the shared LLC and fake
-    # sharing/thrashing that multiprogrammed mixes do not have.
-    iters = [_biased(t, i << 44) for i, t in enumerate(traces)]
-    warmups = [int(len(t) * config.warmup_fraction) for t in traces]
-    counts = [0] * num_cores
-    warm_marks = [None] * num_cores  # (clock, instrs) at warm-up end
-    done = [False] * num_cores
-
-    # Min-heap keyed by core-local clock keeps shared-resource ordering
-    # consistent across cores.
-    heap = [(0.0, i) for i in range(num_cores)]
-    heapq.heapify(heap)
-    warmed = 0
-    while heap:
-        _, i = heapq.heappop(heap)
-        try:
-            pc, addr, is_write, gap, dep = next(iters[i])
-        except StopIteration:
-            done[i] = True
-            continue
-        model = models[i]
-        model.advance(gap)
-        now = model.issue_time(dep)
-        latency = cores[i].access(pc, addr, is_write, now)
-        model.complete_access(now, latency, is_write)
-        counts[i] += 1
-        if counts[i] == warmups[i] and warm_marks[i] is None:
-            model.drain()
-            warm_marks[i] = (model.clock, model.instrs)
-            cores[i].reset_stats()
-            warmed += 1
-            if warmed == num_cores:
-                uncore.reset_stats()
-                for pf in uncore.prefetchers.values():
-                    reset = getattr(pf, "reset_epoch_stats", None)
-                    if reset is not None:
-                        reset()
-        heapq.heappush(heap, (model.clock, i))
-
-    results = []
-    for i in range(num_cores):
-        model = models[i]
-        model.drain()
-        mark = warm_marks[i] or (0.0, 0)
-        cycles = model.clock - mark[0]
-        instrs = model.instrs - mark[1]
-        results.append(_collect_result(
-            traces[i].name, cores[i], model, cycles, instrs,
-            len(traces[i]) - warmups[i]))
-    return MulticoreResult(cores=results)
+    engine = build_multicore(traces, config, l1_prefetcher, l2_prefetchers)
+    return MulticoreResult(cores=engine.run().collect())

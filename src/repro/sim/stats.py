@@ -60,6 +60,10 @@ class SimResult:
     dram_writes: int = 0
     dram_queue_delay: float = 0.0
     prefetchers: List[PrefetchReport] = field(default_factory=list)
+    #: Hierarchy event-bus counters (``"kind@level:origin" -> n``),
+    #: attached by single-core engine runs; None for multi-core runs
+    #: (the bus is shared, so per-core attribution would be misleading).
+    events: Optional[Dict[str, int]] = None
 
     @property
     def ipc(self) -> float:
