@@ -129,6 +129,7 @@ class StreamlinePrefetcher(Prefetcher):
         self.realignments = 0
         self.filtered_drops = 0
         self.completed_streams = 0
+        self._duel_bus = None  # the bus holding our dueling handler
 
     # -- wiring ---------------------------------------------------------------
 
@@ -161,6 +162,12 @@ class StreamlinePrefetcher(Prefetcher):
         self._stripe = (hier.core_id, cores)
         if self.dynamic:
             hier.bus.subscribe(EV.ACCESS, self._on_llc_demand)
+            self._duel_bus = hier.bus
+
+    def detach(self, hier) -> None:
+        if self._duel_bus is not None:
+            self._duel_bus.unsubscribe(EV.ACCESS, self._on_llc_demand)
+            self._duel_bus = None
 
     def _on_llc_demand(self, ev) -> None:
         """LLC-side dueling feed (any core's demand access)."""

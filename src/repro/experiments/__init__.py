@@ -27,6 +27,7 @@ ALL_EXPERIMENTS = {
     "fig12a": fig12.run_fig12a,
     "fig12b": fig12.run_fig12b,
     "fig12c": fig12.run_fig12c,
+    "fig12ts": fig12.run_fig12_intervals,
     "fig13a": fig13.run_fig13a,
     "fig13b": fig13.run_fig13b,
     "fig13c": fig13.run_fig13c,

@@ -11,18 +11,22 @@ out over a process pool.  Scale knobs come from the environment:
   representative workloads and fewer mixes.
 * ``REPRO_JOBS`` - simulation worker processes (1 = in-process serial).
 * ``REPRO_CACHE=0`` - disable the on-disk result cache.
+* ``REPRO_TELEMETRY=1`` - enable telemetry in supporting experiments
+  (fig9 gains timeliness columns); ``REPRO_TELEMETRY_INTERVAL`` tunes
+  the sampling period.  Off by default so goldens stay bit-identical.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..runner import PrefetcherSpec, SimJob, SimRunner, as_spec, \
     get_runner, spec
 from ..sim.config import SystemConfig
 from ..sim.stats import SimResult, format_table, geomean
+from ..telemetry import TelemetryConfig
 from ..workloads import generate_mixes
 
 #: The experiments run on a 1/4-scale hierarchy (see DESIGN.md §4).
@@ -45,6 +49,11 @@ def env_n(default: int = 60_000) -> int:
 
 def quick_mode() -> bool:
     return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def telemetry_config() -> Optional[TelemetryConfig]:
+    """The env-driven telemetry opt-in (None unless ``REPRO_TELEMETRY=1``)."""
+    return TelemetryConfig.from_env()
 
 
 def experiment_config(num_cores: int = 1, **overrides) -> SystemConfig:
@@ -110,6 +119,9 @@ class SingleCoreRun:
     workload: str
     baseline: SimResult
     results: Dict[str, SimResult] = field(default_factory=dict)
+    #: Probe payloads per config name (empty unless the matrix named
+    #: probes), e.g. ``probes["streamline"]["telemetry"]``.
+    probes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def speedup(self, config: str) -> float:
         return self.results[config].ipc / self.baseline.ipc
@@ -146,6 +158,8 @@ def run_matrix(workloads: Sequence[str], n: int,
         for name in specs:
             res = next(results)
             run.results[name] = res.single
+            if res.probes:
+                run.probes[name] = res.probes
         out.append(run)
     return out
 

@@ -9,9 +9,15 @@
 * 12c - metadata-buffer size sweep: alignment rate and coverage (paper:
   3 entries align 67% and saturate coverage).
 
+* 12ts - interval time-series (plot data): per-interval misses,
+  prefetch traffic, metadata-store occupancy, and timeliness over the
+  run, via the telemetry subsystem.  Not a paper figure; it supplies
+  the when-and-why behind 12a-c's end-of-run scalars.
+
 Component statistics (store hit rates, alignment counters, redundancy)
 are collected by named probes that run inside the worker next to the
-simulation; see :mod:`repro.runner.probes`.
+simulation; see :mod:`repro.runner.probes`.  The interval data comes
+from the ``telemetry`` probe (:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import List, Optional, Sequence
 from ..core.stream_entry import ENTRIES_PER_BLOCK, correlations_per_block
 from ..runner import SimJob, get_runner, spec
 from ..sim.stats import geomean
+from ..telemetry import TelemetryConfig
 from .common import (STRIDE_L1, ExperimentResult, env_n,
                      experiment_config, fmt, workload_set)
 
@@ -141,8 +148,63 @@ def run_fig12c(n: Optional[int] = None,
                                        "coverage"], rows, notes)
 
 
+def run_fig12_intervals(n: Optional[int] = None,
+                        intervals: int = 8,
+                        workloads: Optional[Sequence[str]] = None
+                        ) -> ExperimentResult:
+    """Interval plot data: Streamline's behaviour over time per workload.
+
+    One row per interval per workload — demand misses reaching the L2,
+    prefetch issue/fill/useful counts, and metadata-store occupancy —
+    plus the run's final timeliness split.  ``intervals`` picks the
+    sampling period (``n // intervals``), so the table stays readable at
+    any ``REPRO_N``; plotting consumers wanting finer grain should use
+    the ``telemetry`` probe (or CLI) directly.
+    """
+    n = n or env_n(40_000)
+    workloads = list(workloads or workload_set("component"))
+    tcfg = TelemetryConfig(interval=max(500, n // intervals))
+    config = experiment_config().scaled(telemetry=tcfg)
+    runner = get_runner()
+    sl = spec("streamline")
+    jobs = [SimJob.single(wl, n, config, l1=STRIDE_L1, l2=(sl,),
+                          probes=("telemetry",))
+            for wl in workloads]
+    results = runner.run(jobs)
+    rows = []
+    for wl, res in zip(workloads, results):
+        payload = res.probes["telemetry"]
+        series = payload["intervals"]
+        counters = series["counters"]
+        gauges = series["gauges"]
+        lifecycle = payload["lifecycle"].get("streamline", {})
+        issued_total = lifecycle.get("issued", 0) or 1
+        for i in series["index"]:
+            rows.append([
+                wl, i, series["access"][i],
+                counters["l2_misses"][i], counters["pf_issued"][i],
+                counters["pf_fills"][i], counters["pf_useful"][i],
+                int(gauges["meta_entries"][i]),
+            ])
+        rows.append([
+            wl, "total", series["access"][-1] if series["access"] else 0,
+            sum(counters["l2_misses"]), sum(counters["pf_issued"]),
+            sum(counters["pf_fills"]), sum(counters["pf_useful"]),
+            f"on={lifecycle.get('on_time', 0) / issued_total:.2f} "
+            f"late={lifecycle.get('late', 0) / issued_total:.2f}",
+        ])
+    notes = (f"streamline over stride L1, interval={tcfg.interval} "
+             "accesses; meta_entries is the stream store's live entry "
+             "count (occupancy ramps as streams are learned); the total "
+             "row adds the run's on-time/late fractions")
+    return ExperimentResult(
+        "fig12ts", ["workload", "interval", "access", "l2_miss",
+                    "pf_issued", "pf_fills", "pf_useful", "meta_entries"],
+        rows, notes)
+
+
 def main() -> None:
-    for fn in (run_fig12a, run_fig12b, run_fig12c):
+    for fn in (run_fig12a, run_fig12b, run_fig12c, run_fig12_intervals):
         print(fn().table())
         print()
 

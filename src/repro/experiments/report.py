@@ -19,7 +19,8 @@ from typing import Dict, List, Optional
 #: Paper order for the report sections.
 ORDER = ["table1", "table2", "fig9", "fig10a", "fig10b", "fig10c",
          "fig10de", "fig10f", "fig11a", "fig11b", "fig11cd", "fig12a",
-         "fig12b", "fig12c", "fig13a", "fig13b", "fig13c", "tpmin",
+         "fig12b", "fig12c", "fig12ts", "fig13a", "fig13b", "fig13c",
+         "tpmin",
          "fig14", "fig15"]
 
 TITLES: Dict[str, str] = {
@@ -37,6 +38,7 @@ TITLES: Dict[str, str] = {
     "fig12a": "Figure 12a — stream length",
     "fig12b": "Figure 12b — redundancy and alignment",
     "fig12c": "Figure 12c — metadata buffer size",
+    "fig12ts": "Figure 12 (supplement) — interval time-series",
     "fig13a": "Figure 13a — storage efficiency",
     "fig13b": "Figure 13b — metadata traffic",
     "fig13c": "Figure 13c — correlation hit rate",

@@ -98,9 +98,28 @@ class EventBus:
         self._subs.setdefault(kind, []).append(fn)
 
     def unsubscribe(self, kind: str, fn: Subscriber) -> None:
+        """Remove ``fn`` from ``kind``; a no-op if it is not subscribed.
+
+        Idempotent by design: detach paths (probes, telemetry, duelers)
+        may run more than once, and a double-unsubscribe must not raise
+        or remove someone else's handler.
+        """
         subs = self._subs.get(kind)
         if subs and fn in subs:
             subs.remove(fn)
+            if not subs:
+                del self._subs[kind]
+
+    def subscriber_count(self, kind: str = "") -> int:
+        """Live subscribers for ``kind``, or across all kinds.
+
+        The leak check: long-lived buses (in-process runners, REPLs)
+        must see this return to its baseline after every run, or
+        detached observers are still receiving events.
+        """
+        if kind:
+            return len(self._subs.get(kind, ()))
+        return sum(len(subs) for subs in self._subs.values())
 
     def publish(self, kind: str, level: str, core_id: int, blk: int,
                 pc: int = 0, origin: str = DEMAND, now: float = 0.0,

@@ -291,6 +291,9 @@ class CoreHierarchy:
         self.levels: List[CacheLevel] = [self.l1_level, self.l2_level]
         self.l1_prefetcher: Optional[Prefetcher] = None
         self.l2_prefetchers: List[Prefetcher] = []
+        # Trainer closures subscribed on behalf of attached prefetchers,
+        # recorded so detach_prefetchers() can release them.
+        self._pf_subs: List[tuple] = []
         # Demand L2 misses that had to go below (the "uncovered" count in
         # the coverage metric).
         self.uncovered_misses = 0
@@ -303,8 +306,10 @@ class CoreHierarchy:
         pf.hier = self
         self.l1_prefetcher = pf
         pf.attach(self)
-        self.bus.subscribe(EV.LOOKUP_HIT, self._make_l1_trainer(pf))
-        self.bus.subscribe(EV.LOOKUP_MISS, self._make_l1_trainer(pf))
+        for kind in (EV.LOOKUP_HIT, EV.LOOKUP_MISS):
+            trainer = self._make_l1_trainer(pf)
+            self.bus.subscribe(kind, trainer)
+            self._pf_subs.append((kind, trainer))
 
     def attach_l2_prefetcher(self, pf: Prefetcher) -> None:
         if pf.train_scope not in TRAIN_SCOPES:
@@ -315,7 +320,26 @@ class CoreHierarchy:
         pf.hier = self
         self.l2_prefetchers.append(pf)
         pf.attach(self)
-        self.bus.subscribe(EV.DEMAND_COMPLETE, self._make_l2_trainer(pf))
+        trainer = self._make_l2_trainer(pf)
+        self.bus.subscribe(EV.DEMAND_COMPLETE, trainer)
+        self._pf_subs.append((EV.DEMAND_COMPLETE, trainer))
+
+    def detach_prefetchers(self) -> None:
+        """Release every bus subscription taken for this core's
+        prefetchers: the trainer closures subscribed here, and whatever
+        each prefetcher registered itself (LLC-side duelers).
+
+        Idempotent.  Prefetcher and cache state stay readable — only
+        event delivery stops — so post-run probes are unaffected.
+        """
+        for kind, fn in self._pf_subs:
+            self.bus.unsubscribe(kind, fn)
+        self._pf_subs.clear()
+        pfs = list(self.l2_prefetchers)
+        if self.l1_prefetcher is not None:
+            pfs.append(self.l1_prefetcher)
+        for pf in pfs:
+            pf.detach(self)
 
     def _make_l1_trainer(self, pf: Prefetcher):
         """L1D training: every demand lookup at this core's L1D."""

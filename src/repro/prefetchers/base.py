@@ -92,6 +92,10 @@ class Prefetcher:
         """Called once when wired into a hierarchy; override to grab the
         LLC / partition controller."""
 
+    def detach(self, hierarchy) -> None:
+        """Called at hierarchy teardown; override to release any bus
+        subscriptions taken in :meth:`attach`.  Must be idempotent."""
+
     def finalize(self, now: float) -> None:
         """Called at end of simulation (flush epoch state into stats)."""
 

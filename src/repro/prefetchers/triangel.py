@@ -165,6 +165,7 @@ class TriangelPrefetcher(Prefetcher):
         self.partitioner: Optional[_DuelingPartitioner] = None
         self._accesses = 0
         self.bypassed_inserts = 0
+        self._duel_bus = None  # the bus holding our dueling handler
 
     def attach(self, hier) -> None:
         llc = hier.uncore.llc
@@ -190,6 +191,12 @@ class TriangelPrefetcher(Prefetcher):
         self._duel_events = 0
         if self.adaptive and not self.dedicated:
             hier.bus.subscribe(EV.ACCESS, self._on_llc_demand)
+            self._duel_bus = hier.bus
+
+    def detach(self, hier) -> None:
+        if self._duel_bus is not None:
+            self._duel_bus.unsubscribe(EV.ACCESS, self._on_llc_demand)
+            self._duel_bus = None
 
     def _on_llc_demand(self, ev) -> None:
         if ev.origin != "demand":

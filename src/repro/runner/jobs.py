@@ -29,7 +29,12 @@ from .traces import get_trace
 #: v2: unified Engine + request-pipeline/event-bus hierarchy (results are
 #: numerically identical to v1, but SimResult gained the ``events``
 #: payload, so cached v1 pickles are conservatively invalidated).
-SCHEMA_VERSION = 2
+#: v3: telemetry subsystem.  ``SystemConfig`` gained the ``telemetry``
+#: field (now part of the canonical config dict) and jobs may carry the
+#: ``telemetry`` probe; timing numbers are unchanged, but v2 pickles are
+#: conservatively invalidated rather than risking canonical-form
+#: collisions across the field addition.
+SCHEMA_VERSION = 3
 
 SINGLE = "single"
 MULTI = "multi"

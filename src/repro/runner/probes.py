@@ -113,7 +113,22 @@ def _bus_counts(context: ProbeContext) -> Dict[str, int]:
     return bus.counts_flat() if bus is not None else {}
 
 
+def _telemetry(context: ProbeContext) -> Dict[str, Any]:
+    """The telemetry harness payload (interval series + lifecycle).
+
+    Requires the job's ``SystemConfig`` to carry a ``TelemetryConfig``;
+    without one the engine built no harness and the probe reports
+    ``{"enabled": False}`` instead of failing, so a job can name the
+    probe unconditionally.
+    """
+    harness = getattr(context.engine, "telemetry", None)
+    if harness is None:
+        return {"enabled": False}
+    return harness.export()
+
+
 register_probe("store_stats", _store_stats)
 register_probe("redundancy", _redundancy)
 register_probe("alignment", _alignment)
 register_probe("bus_counts", _bus_counts)
+register_probe("telemetry", _telemetry)

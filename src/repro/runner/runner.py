@@ -21,11 +21,22 @@ from .jobs import JobResult, SimJob, execute_job
 
 
 def env_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default: all cores)."""
+    """Worker count from ``REPRO_JOBS`` (default: all cores).
+
+    A malformed value raises immediately with the env var named, rather
+    than surfacing as a bare ``int()`` traceback deep in runner setup.
+    """
     raw = os.environ.get("REPRO_JOBS", "")
-    if raw:
-        return max(1, int(raw))
-    return os.cpu_count() or 1
+    if not raw:
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs <= 0:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
 
 
 class SimRunner:

@@ -24,7 +24,18 @@ _cache: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
 
 
 def _capacity() -> int:
-    return int(os.environ.get("REPRO_TRACE_CACHE", DEFAULT_CAPACITY))
+    """LRU bound from ``REPRO_TRACE_CACHE`` (0 disables caching)."""
+    raw = os.environ.get("REPRO_TRACE_CACHE", "")
+    if not raw:
+        return DEFAULT_CAPACITY
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRACE_CACHE must be an integer, got {raw!r}") from None
+    if cap < 0:
+        raise ValueError(f"REPRO_TRACE_CACHE must be >= 0, got {cap}")
+    return cap
 
 
 def get_trace(workload: str, n: int, seed: int) -> Trace:

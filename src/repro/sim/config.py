@@ -12,7 +12,9 @@ warmup fraction) that have no counterpart in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
+
+from ..telemetry.config import TelemetryConfig
 
 
 #: Table II: "1/2/4/8C: 1/2/2/4 channels"
@@ -54,6 +56,11 @@ class SystemConfig:
 
     # Reproduction knobs
     warmup_fraction: float = 0.2
+
+    # Observability (None = off: no subscribers, bit-identical results).
+    # Participates in job fingerprints, so telemetry-on runs key their
+    # own cache entries.  See repro.telemetry.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:

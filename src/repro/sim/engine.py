@@ -31,6 +31,7 @@ from ..memory.dram import DRAM
 from ..memory.events import EventBus
 from ..memory.hierarchy import CoreHierarchy, SharedUncore
 from ..prefetchers.base import Prefetcher
+from ..telemetry import TelemetryHarness
 from .config import SystemConfig
 from .stats import PrefetchReport, SimResult
 from .trace import Trace
@@ -210,6 +211,39 @@ class Engine:
         self._warm_marks: List[Optional[Tuple[float, int]]] = \
             [None] * num_cores
         self._ran = False
+        # Observability: pure bus subscribers, built only on opt-in.
+        # The harness is reset at the warm-up boundary alongside the
+        # uncore/bus counters and finalized in collect().
+        self.telemetry: Optional[TelemetryHarness] = None
+        if config.telemetry is not None:
+            names = {oid: pf.name
+                     for oid, pf in self.uncore.prefetchers.items()}
+            self.telemetry = TelemetryHarness(
+                self.bus, config.telemetry, num_cores=num_cores,
+                owner_names=names, gauges=self._telemetry_gauges())
+
+    def _telemetry_gauges(self) -> Dict[str, Callable[[], float]]:
+        """Pull-based gauges the interval sampler reads at snapshot time."""
+        prefetchers = self.uncore.prefetchers
+
+        def meta_entries() -> float:
+            total = 0
+            for pf in prefetchers.values():
+                store = getattr(pf, "store", None)
+                if store is not None and hasattr(store, "valid_entries"):
+                    total += store.valid_entries()
+            return float(total)
+
+        def meta_bytes() -> float:
+            total = 0
+            for pf in prefetchers.values():
+                controller = getattr(pf, "controller", None)
+                if controller is not None:
+                    total += controller.current_bytes
+            return float(total)
+
+        return {"meta_entries": meta_entries, "meta_bytes": meta_bytes,
+                "llc_occupancy": self.uncore.llc.occupancy}
 
     @property
     def num_cores(self) -> int:
@@ -270,6 +304,8 @@ class Engine:
                         reset = getattr(pf, "reset_epoch_stats", None)
                         if reset is not None:
                             reset()
+                    if self.telemetry is not None:
+                        self.telemetry.reset()
             heapq.heappush(heap, (model.clock, i))
         return self
 
@@ -282,6 +318,8 @@ class Engine:
         result (``SimResult.events``) for observability and the
         conservation checks.
         """
+        if self.telemetry is not None:
+            self.telemetry.finalize()
         events = self.bus.counts_flat() if self.num_cores == 1 else None
         results: List[SimResult] = []
         for i, core in enumerate(self.cores):
@@ -294,6 +332,14 @@ class Engine:
             results.append(collect_result(
                 self.traces[i].name, core, model, cycles, instrs,
                 len(self.traces[i]) - warmup, events=events))
+        # Teardown: release observer subscriptions so a finished engine
+        # holds no live handlers on the bus.  State (stats, stores,
+        # telemetry payloads) stays readable for post-run probes; all
+        # detach paths are idempotent, so collect() stays re-callable.
+        for core in self.cores:
+            core.detach_prefetchers()
+        if self.telemetry is not None:
+            self.telemetry.detach()
         return results
 
 

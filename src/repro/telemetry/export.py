@@ -1,0 +1,143 @@
+"""JSONL export and schema validation for telemetry payloads.
+
+The harness exports one nested dict (columnar series + lifecycle
+summary); this module flattens it into line-delimited JSON — one ``meta``
+record, one ``interval`` record per sample row, one ``lifecycle`` record
+per prefetcher — the shape downstream plotting tools want.
+
+The expected record shapes are described by :data:`SCHEMA` (a plain
+field->type map per record type, checked in as
+``benchmarks/telemetry_schema.json`` so CI validates real exports
+against an explicit artifact).  The validator is deliberately tiny and
+dependency-free: the container has no ``jsonschema``, and required
+fields + primitive types are all the smoke check needs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterator, List, Union
+
+#: field name -> type tag, per record type.  Type tags: "int", "float"
+#: (accepts ints), "str", "bool", "object", "array".
+SCHEMA: Dict[str, Dict[str, str]] = {
+    "meta": {
+        "type": "str", "schema": "int", "enabled": "bool",
+        "num_cores": "int", "interval": "int",
+    },
+    "interval": {
+        "type": "str", "index": "int", "access": "int", "clock": "float",
+        "counters": "object", "gauges": "object", "core_rate": "object",
+    },
+    "lifecycle": {
+        "type": "str", "prefetcher": "str", "issued": "int",
+        "on_time": "int", "late": "int", "unused": "int",
+        "in_flight": "int", "avg_late_cycles": "float",
+        "per_core": "object",
+    },
+}
+
+_CHECKERS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+}
+
+
+def iter_records(payload: Dict[str, object]) -> Iterator[Dict[str, object]]:
+    """Flatten one harness export into JSONL-ready records."""
+    yield {"type": "meta",
+           "schema": payload.get("schema", 0),
+           "enabled": bool(payload.get("enabled", False)),
+           "num_cores": payload.get("num_cores", 1),
+           "interval": payload.get("interval", 0)}
+    series = payload.get("intervals")
+    if isinstance(series, dict):
+        counters = series.get("counters", {})
+        gauges = series.get("gauges", {})
+        core_rate = series.get("core_rate", {})
+        for i, (idx, access, clock) in enumerate(
+                zip(series.get("index", ()), series.get("access", ()),
+                    series.get("clock", ()))):
+            yield {
+                "type": "interval", "index": idx, "access": access,
+                "clock": clock,
+                "counters": {c: col[i] for c, col in counters.items()},
+                "gauges": {g: col[i] for g, col in gauges.items()},
+                "core_rate": {c: col[i] for c, col in core_rate.items()
+                              if i < len(col)},
+            }
+    lifecycle = payload.get("lifecycle")
+    if isinstance(lifecycle, dict):
+        for name, entry in lifecycle.items():
+            rec: Dict[str, object] = {"type": "lifecycle",
+                                      "prefetcher": name}
+            rec.update(entry)
+            yield rec
+
+
+def to_jsonl(payload: Dict[str, object]) -> str:
+    return "\n".join(json.dumps(rec, sort_keys=True)
+                     for rec in iter_records(payload)) + "\n"
+
+
+def write_jsonl(payload: Dict[str, object],
+                path: Union[str, pathlib.Path]) -> int:
+    """Write the flattened payload; returns the record count."""
+    records = list(iter_records(payload))
+    text = "\n".join(json.dumps(rec, sort_keys=True)
+                     for rec in records) + "\n"
+    pathlib.Path(path).write_text(text)
+    return len(records)
+
+
+# -- validation -----------------------------------------------------------------
+
+def load_schema(path: Union[str, pathlib.Path]) -> Dict[str, Dict[str, str]]:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def validate_records(records: List[Dict[str, object]],
+                     schema: Dict[str, Dict[str, str]] = SCHEMA
+                     ) -> List[str]:
+    """Structural errors in ``records`` (empty list == valid)."""
+    errors: List[str] = []
+    if not records:
+        return ["no records"]
+    for i, rec in enumerate(records):
+        rtype = rec.get("type")
+        fields = schema.get(str(rtype))
+        if fields is None:
+            errors.append(f"record {i}: unknown type {rtype!r}")
+            continue
+        for name, tag in fields.items():
+            if name not in rec:
+                errors.append(f"record {i} ({rtype}): missing {name!r}")
+            elif not _CHECKERS[tag](rec[name]):
+                errors.append(
+                    f"record {i} ({rtype}): field {name!r} should be "
+                    f"{tag}, got {type(rec[name]).__name__}")
+    if not any(r.get("type") == "meta" for r in records):
+        errors.append("no meta record")
+    return errors
+
+
+def validate_jsonl(path: Union[str, pathlib.Path],
+                   schema: Dict[str, Dict[str, str]] = SCHEMA
+                   ) -> List[str]:
+    """Validate a JSONL file; returns error strings (empty == valid)."""
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(
+            pathlib.Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            return [f"line {lineno}: invalid JSON ({exc})"]
+    return validate_records(records, schema)

@@ -1,0 +1,90 @@
+"""The harness: one object binding samplers to an engine's event bus.
+
+The engine builds a :class:`TelemetryHarness` when its config carries a
+:class:`~repro.telemetry.config.TelemetryConfig`, resets it at the
+warm-up boundary (in the same breath as the uncore/bus reset, so every
+telemetry number describes steady state), finalizes it in ``collect``,
+and exposes it as ``engine.telemetry``.  The ``telemetry`` runner probe
+(:mod:`repro.runner.probes`) ships :meth:`export`'s plain-data payload
+with the :class:`~repro.runner.jobs.JobResult`, so telemetry travels and
+caches like any other probe output.
+
+Everything here observes the bus; nothing publishes, nothing touches
+simulation state, so telemetry-on runs produce numerically identical
+``SimResult``s (asserted by ``benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..memory.events import EventBus
+from .config import TelemetryConfig
+from .intervals import IntervalSampler
+from .lifecycle import PrefetchLifecycleTracer
+
+#: Version of the exported payload/JSONL layout (independent of the
+#: runner's cache schema; bump when export fields change shape).
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class TelemetryHarness:
+    """Owns the sampler/tracer pair for one simulated system."""
+
+    def __init__(self, bus: EventBus, config: TelemetryConfig,
+                 num_cores: int = 1,
+                 owner_names: Optional[Dict[int, str]] = None,
+                 gauges: Optional[Dict[str, Callable[[], float]]] = None):
+        self.bus = bus
+        self.config = config
+        self.num_cores = num_cores
+        self.owner_names: Dict[int, str] = dict(owner_names or {})
+        self.sampler: Optional[IntervalSampler] = \
+            IntervalSampler(bus, config, gauges) if config.intervals \
+            else None
+        self.tracer: Optional[PrefetchLifecycleTracer] = \
+            PrefetchLifecycleTracer(bus) if config.lifecycle else None
+        self._finalized = False
+
+    # -- engine-driven lifecycle -------------------------------------------
+
+    def reset(self) -> None:
+        """The warm-up boundary: drop everything observed so far."""
+        if self.sampler is not None:
+            self.sampler.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
+        self._finalized = False
+
+    def finalize(self) -> None:
+        """End of run: flush the partial interval, settle in-flights."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.sampler is not None:
+            self.sampler.flush()
+        if self.tracer is not None:
+            self.tracer.finalize()
+
+    def detach(self) -> None:
+        """Unsubscribe everything from the bus (idempotent)."""
+        if self.sampler is not None:
+            self.sampler.detach()
+        if self.tracer is not None:
+            self.tracer.detach()
+
+    # -- results ------------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """The whole harness as plain picklable/JSON-serializable data."""
+        self.finalize()
+        return {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "enabled": True,
+            "num_cores": self.num_cores,
+            "interval": self.config.interval,
+            "intervals": (self.sampler.series()
+                          if self.sampler is not None else None),
+            "lifecycle": (self.tracer.summary(self.owner_names)
+                          if self.tracer is not None else None),
+        }

@@ -20,8 +20,8 @@ MINI_WL = ["gap.pr", "06.lbm"]
 def test_experiment_registry_covers_every_figure():
     expected = {"table1", "table2", "tpmin", "fig9", "fig10a", "fig10b",
                 "fig10c", "fig10de", "fig10f", "fig11a", "fig11b",
-                "fig11cd", "fig12a", "fig12b", "fig12c", "fig13a",
-                "fig13b", "fig13c", "fig14", "fig15"}
+                "fig11cd", "fig12a", "fig12b", "fig12c", "fig12ts",
+                "fig13a", "fig13b", "fig13c", "fig14", "fig15"}
     assert expected == set(ALL_EXPERIMENTS)
 
 
