@@ -1,0 +1,38 @@
+"""The :class:`Snapshottable` protocol.
+
+Every stateful simulator component — caches, replacement policies, the
+DRAM model, prefetchers and their metadata structures, per-core timing
+proxies, telemetry collectors, and the engine itself — implements the
+same two-method contract:
+
+* ``state_dict()`` returns the component's **mutable** state as a tree
+  of dicts/lists/scalars/ndarrays (see :mod:`repro.checkpoint.serialize`
+  for the exact vocabulary).  Constructor configuration is *not*
+  captured: restore always happens into a freshly built component of
+  identical configuration.
+* ``load_state(state)`` restores that tree.  Implementations must build
+  fresh containers (never adopt references from ``state``) and must
+  accept lists where they produced tuples — serialization does not
+  preserve the distinction.
+
+Where iteration order is semantically load-bearing (FIFO/LRU dicts,
+partition walk order), components encode the dict as an ordered
+list-of-pairs so the round-trip preserves it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Structural type for checkpointable components."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of all mutable state."""
+        ...
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        ...

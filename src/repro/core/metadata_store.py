@@ -302,6 +302,52 @@ class StreamStore:
             return moved
         return 0
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # Pool order matters: untagged eviction falls back to pool[0]
+        # and set_partition walks pools in insertion order.
+        return {
+            "every_nth": self.every_nth,
+            "cur_ways": self.cur_ways,
+            "sets": [[k[0], k[1],
+                      [[s.entry.state_dict(), s.rrpv, s.pred_level,
+                        s.inserted_clock] for s in pool]]
+                     for k, pool in self._sets.items()],
+            "clock": [[k[0], k[1], n] for k, n in self._clock.items()],
+            "stats": {
+                "lookups": self.stats.lookups,
+                "hits": self.stats.hits,
+                "inserts": self.stats.inserts,
+                "filtered_lookups": self.stats.filtered_lookups,
+                "filtered_inserts": self.stats.filtered_inserts,
+                "overwrites": self.stats.overwrites,
+                "evictions": self.stats.evictions,
+                "alias_inserts": self.stats.alias_inserts,
+            },
+            "replacement": (self.replacement.state_dict()
+                            if self.replacement is not None else None),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.every_nth = int(state["every_nth"])
+        self.cur_ways = int(state["cur_ways"])
+        sets: Dict[Tuple[int, int], List[StoredEntry]] = {}
+        for k0, k1, rows in state["sets"]:
+            sets[(int(k0), int(k1))] = [
+                StoredEntry(StreamEntry.from_state(entry_row),
+                            rrpv=int(rrpv), pred_level=int(pred_level),
+                            inserted_clock=int(inserted_clock))
+                for entry_row, rrpv, pred_level, inserted_clock in rows]
+        self._sets = sets
+        self._clock = {(int(k0), int(k1)): int(n)
+                       for k0, k1, n in state["clock"]}
+        self.stats = StoreStats(**{k: int(v)
+                                   for k, v in state["stats"].items()})
+        if self.replacement is not None and \
+                state["replacement"] is not None:
+            self.replacement.load_state(state["replacement"])
+
     # -- diagnostics --------------------------------------------------------------------
 
     def alias_rate(self) -> float:

@@ -177,3 +177,27 @@ class UtilityAwarePartitioner:
         self._bootstrap = False
         self.decisions.append(best)
         return best
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "scores": [[s, v] for s, v in self.scores.items()],
+            "shadow": [[set_idx, list(lru)]
+                       for set_idx, lru in self._shadow.items()],
+            "sampled": self._sampled,
+            "decisions": list(self.decisions),
+            "bootstrap": self._bootstrap,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.scores = {int(s): float(v) for s, v in state["scores"]}
+        shadow: Dict[int, "OrderedDict[int, bool]"] = {}
+        for set_idx, blks in state["shadow"]:
+            # LRU order (popitem(last=False) evicts) must survive.
+            shadow[int(set_idx)] = OrderedDict(
+                (int(b), True) for b in blks)
+        self._shadow = shadow
+        self._sampled = int(state["sampled"])
+        self.decisions = [int(d) for d in state["decisions"]]
+        self._bootstrap = bool(state["bootstrap"])

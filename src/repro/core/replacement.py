@@ -77,12 +77,28 @@ class StreamReplacement:
                             first_target: int, pc: int) -> None:
         """Training hook (TP-Mockingjay's sampler); no-op by default."""
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable policy state beyond the per-entry fields, which the
+        store serializes with the entries themselves."""
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        raise NotImplementedError
+
 
 class SRRIPStreamReplacement(StreamReplacement):
     """2-bit RRIP over the entries of a metadata set (Triangel's choice)."""
 
     name = "srrip"
     MAX_RRPV = 3
+
+    def state_dict(self) -> dict:
+        return {}  # all state lives in StoredEntry.rrpv
+
+    def load_state(self, state: dict) -> None:
+        pass
 
     def on_access(self, set_idx: int, clock: int,
                   stored: Optional[StoredEntry]) -> None:
@@ -125,6 +141,14 @@ class _CorrelationSampler:
             _, old_pc = self._seen.pop(old_key)
             scans.append(old_pc)
         return distance, scans
+
+    def state_dict(self) -> list:
+        # Insertion order drives the age-out above; keep it.
+        return [[k[0], k[1], v[0], v[1]] for k, v in self._seen.items()]
+
+    def load_state(self, state: list) -> None:
+        self._seen = {(int(k0), int(k1)): (int(clock), int(pc))
+                      for k0, k1, clock, pc in state}
 
 
 class TPMockingjayReplacement(StreamReplacement):
@@ -196,6 +220,22 @@ class TPMockingjayReplacement(StreamReplacement):
             return (abs(remaining), 1 if remaining < 0 else 0)
 
         return max(candidates, key=score)
+
+    def state_dict(self) -> dict:
+        return {
+            "pred": [[pc, level] for pc, level in self._pred.items()],
+            "samplers": [[set_idx, s.state_dict()]
+                         for set_idx, s in self._samplers.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._pred = {int(pc): int(level) for pc, level in state["pred"]}
+        samplers: Dict[int, _CorrelationSampler] = {}
+        for set_idx, rows in state["samplers"]:
+            sampler = _CorrelationSampler(self.sampler_capacity)
+            sampler.load_state(rows)
+            samplers[int(set_idx)] = sampler
+        self._samplers = samplers
 
 
 def make_stream_replacement(name: str, **kwargs) -> StreamReplacement:

@@ -132,5 +132,17 @@ class StreamEntry:
         return StreamEntry(self.trigger, self.length, list(self.targets),
                            self.pc)
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> List[object]:
+        """Compact row form: [trigger, length, targets, pc]."""
+        return [self.trigger, self.length, list(self.targets), self.pc]
+
+    @classmethod
+    def from_state(cls, state: Sequence[object]) -> "StreamEntry":
+        trigger, length, targets, pc = state
+        return cls(int(trigger), int(length),
+                   [int(t) for t in targets], int(pc))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StreamEntry({self.trigger}->{self.targets}, pc={self.pc})"

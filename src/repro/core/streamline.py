@@ -308,6 +308,49 @@ class StreamlinePrefetcher(Prefetcher):
             self.partitioner.observe_metadata_hit(
                 set_idx, self.current_accuracy)
 
+    # -- checkpointing ---------------------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["tu"] = self.tu.state_dict()
+        state["store"] = self.store.state_dict()
+        state["controller"] = self.controller.state_dict()
+        state["partitioner"] = self.partitioner.state_dict()
+        state["current_accuracy"] = self.current_accuracy
+        state["epoch_useful"] = self._epoch_useful
+        state["epoch_resolved"] = self._epoch_resolved
+        state["alignments"] = self.alignments
+        state["realignments"] = self.realignments
+        state["filtered_drops"] = self.filtered_drops
+        state["completed_streams"] = self.completed_streams
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.tu.load_state(state["tu"])
+        self.store.load_state(state["store"])
+        self.controller.load_state(state["controller"])
+        self.partitioner.load_state(state["partitioner"])
+        self.current_accuracy = float(state["current_accuracy"])
+        self._epoch_useful = int(state["epoch_useful"])
+        self._epoch_resolved = int(state["epoch_resolved"])
+        self.alignments = int(state["alignments"])
+        self.realignments = int(state["realignments"])
+        self.filtered_drops = int(state["filtered_drops"])
+        self.completed_streams = int(state["completed_streams"])
+        # The partition itself (LLC _data_ways) is restored with the
+        # cache; do not re-apply it here.
+
+    def _override_degree(self, value) -> None:
+        degree = int(value)
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.max_degree = degree
+        if isinstance(self.degree_ctrl, FixedDegreeController):
+            self.degree_ctrl.degree = degree
+        else:
+            self.degree_ctrl.max_degree = degree
+
     # -- main hook -------------------------------------------------------------------------
 
     def train(self, pc: int, blk: int, hit: bool, prefetch_hit: bool,

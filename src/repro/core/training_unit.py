@@ -68,6 +68,31 @@ class PCEntry:
         self.buffer.insert(0, entry)
         del self.buffer[self.buffer_size:]
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "stream": (self.stream.state_dict()
+                       if self.stream is not None else None),
+            "prev_addr": self.prev_addr,
+            "buffer": [e.state_dict() for e in self.buffer],
+            "epoch_insertions": self.epoch_insertions,
+            "epoch_accesses": self.epoch_accesses,
+            "degree": self.degree,
+        }
+
+    def load_state(self, state: dict) -> None:
+        stream = state["stream"]
+        self.stream = (StreamEntry.from_state(stream)
+                       if stream is not None else None)
+        prev = state["prev_addr"]
+        self.prev_addr = int(prev) if prev is not None else None
+        self.buffer = [StreamEntry.from_state(row)
+                       for row in state["buffer"]]
+        self.epoch_insertions = int(state["epoch_insertions"])
+        self.epoch_accesses = int(state["epoch_accesses"])
+        self.degree = int(state["degree"])
+
 
 class StreamTrainingUnit:
     """The 256-entry LRU table of :class:`PCEntry` records."""
@@ -96,3 +121,19 @@ class StreamTrainingUnit:
 
     def entries(self) -> List[PCEntry]:
         return list(self._table.values())
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # LRU order of the table is load-bearing (popitem(last=False)
+        # evictions); serialize as ordered rows.
+        return {"table": [[pc, st.state_dict()]
+                          for pc, st in self._table.items()]}
+
+    def load_state(self, state: dict) -> None:
+        table: "OrderedDict[int, PCEntry]" = OrderedDict()
+        for pc, row in state["table"]:
+            entry = PCEntry(int(pc), self.buffer_size)
+            entry.load_state(row)
+            table[int(pc)] = entry
+        self._table = table

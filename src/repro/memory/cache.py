@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from .address import BLOCK_SIZE, is_pow2
 from .replacement import make_policy
 
@@ -251,3 +253,59 @@ class Cache:
             valid += sum(1 for line in self.lines[set_idx][:nd]
                          if line.valid)
         return valid / total if total else 0.0
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Line metadata (columnar arrays), partition map, stats, policy."""
+        n = self.num_sets * self.ways
+        blk = np.empty(n, dtype=np.int64)
+        pc = np.empty(n, dtype=np.int64)
+        owner = np.empty(n, dtype=np.int64)
+        ready = np.empty(n, dtype=np.float64)
+        flags = np.empty((4, n), dtype=np.bool_)
+        for set_idx, row in enumerate(self.lines):
+            base = set_idx * self.ways
+            for way, line in enumerate(row):
+                i = base + way
+                blk[i] = line.blk
+                pc[i] = line.pc
+                owner[i] = line.owner
+                ready[i] = line.ready
+                flags[0, i] = line.valid
+                flags[1, i] = line.dirty
+                flags[2, i] = line.prefetched
+                flags[3, i] = line.pf_touched
+        return {
+            "geometry": [self.num_sets, self.ways],
+            "blk": blk, "pc": pc, "owner": owner, "ready": ready,
+            "flags": flags,
+            "data_ways": np.asarray(self._data_ways, dtype=np.int64),
+            "stats": self.stats.as_dict(),
+            "policy": self.policy.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        num_sets, ways = state["geometry"]
+        if (int(num_sets), int(ways)) != (self.num_sets, self.ways):
+            raise ValueError(
+                f"{self.name}: checkpoint geometry {num_sets}x{ways} != "
+                f"{self.num_sets}x{self.ways}")
+        blk, pc, owner = state["blk"], state["pc"], state["owner"]
+        ready, flags = state["ready"], state["flags"]
+        for set_idx, row in enumerate(self.lines):
+            base = set_idx * self.ways
+            for way, line in enumerate(row):
+                i = base + way
+                line.blk = int(blk[i])
+                line.pc = int(pc[i])
+                line.owner = int(owner[i])
+                line.ready = float(ready[i])
+                line.valid = bool(flags[0, i])
+                line.dirty = bool(flags[1, i])
+                line.prefetched = bool(flags[2, i])
+                line.pf_touched = bool(flags[3, i])
+        self._data_ways = [int(w) for w in state["data_ways"]]
+        self.stats = CacheStats(
+            **{k: int(v) for k, v in state["stats"].items()})
+        self.policy.load_state(state["policy"])

@@ -15,7 +15,7 @@ channel count makes inaccurate prefetchers hurt.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
 CORE_GHZ = 4.0
 
@@ -89,3 +89,26 @@ class DRAM:
         if is_prefetch:
             self.stats.prefetch_reads += 1
         return queue + self.base_latency + self.service_cycles
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"free": list(self._free),
+                "stats": {"reads": self.stats.reads,
+                          "writes": self.stats.writes,
+                          "prefetch_reads": self.stats.prefetch_reads,
+                          "total_queue_cycles":
+                              self.stats.total_queue_cycles}}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        free = [float(f) for f in state["free"]]
+        if len(free) != self.channels:
+            raise ValueError(
+                f"checkpoint has {len(free)} DRAM channels, "
+                f"model has {self.channels}")
+        self._free = free
+        s = state["stats"]
+        self.stats = DRAMStats(
+            reads=int(s["reads"]), writes=int(s["writes"]),
+            prefetch_reads=int(s["prefetch_reads"]),
+            total_queue_cycles=float(s["total_queue_cycles"]))

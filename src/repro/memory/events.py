@@ -152,3 +152,14 @@ class EventBus:
 
     def reset_counts(self) -> None:
         self.counts = {}
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Counters only; subscriptions are wiring, rebuilt on attach."""
+        return {"counts": [[k, lv, og, n]
+                           for (k, lv, og), n in self.counts.items()]}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.counts = {(str(k), str(lv), str(og)): int(n)
+                       for k, lv, og, n in state["counts"]}

@@ -109,6 +109,27 @@ class SharedUncore:
         self.metadata_llc_accesses = 0
         self.bus.reset_counts()
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """LLC + DRAM + port + bus counters; the prefetcher registry is
+        wiring (snapshotted separately, in registration order, by the
+        engine)."""
+        return {"llc": self.llc.state_dict(),
+                "dram": self.dram.state_dict(),
+                "port_free": self._port_free,
+                "demand_llc_accesses": self.demand_llc_accesses,
+                "metadata_llc_accesses": self.metadata_llc_accesses,
+                "bus": self.bus.state_dict()}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.llc.load_state(state["llc"])
+        self.dram.load_state(state["dram"])
+        self._port_free = float(state["port_free"])
+        self.demand_llc_accesses = int(state["demand_llc_accesses"])
+        self.metadata_llc_accesses = int(state["metadata_llc_accesses"])
+        self.bus.load_state(state["bus"])
+
 
 class UncoreLevel:
     """The chain terminal: shared LLC port + LLC + DRAM.
@@ -445,3 +466,19 @@ class CoreHierarchy:
         for pf in list(self.l2_prefetchers) + (
                 [self.l1_prefetcher] if self.l1_prefetcher else []):
             pf.stats = PrefetcherStats()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Private caches + demand counters; attached prefetchers are
+        snapshotted separately by the engine."""
+        return {"l1d": self.l1d.state_dict(),
+                "l2": self.l2.state_dict(),
+                "uncovered_misses": self.uncovered_misses,
+                "demand_accesses": self.demand_accesses}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.l1d.load_state(state["l1d"])
+        self.l2.load_state(state["l2"])
+        self.uncovered_misses = int(state["uncovered_misses"])
+        self.demand_accesses = int(state["demand_accesses"])

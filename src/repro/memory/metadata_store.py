@@ -18,7 +18,7 @@ counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from .address import BLOCK_SIZE
 from .cache import Cache
@@ -146,3 +146,23 @@ class PartitionController:
 
     def record_rearrangement(self, moved_blocks: int) -> None:
         self.traffic.rearrange_moves += moved_blocks
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Traffic counters and partition bookkeeping only.  The LLC's
+        ``_data_ways`` map (the partition's effect) is restored with the
+        cache itself, so restore never re-applies partitions."""
+        return {"traffic": {"reads": self.traffic.reads,
+                            "writes": self.traffic.writes,
+                            "rearrange_moves": self.traffic.rearrange_moves},
+                "current_bytes": self.current_bytes,
+                "mode": self._mode}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        t = state["traffic"]
+        self.traffic = MetadataTraffic(
+            reads=int(t["reads"]), writes=int(t["writes"]),
+            rearrange_moves=int(t["rearrange_moves"]))
+        self.current_bytes = int(state["current_bytes"])
+        self._mode = str(state["mode"])

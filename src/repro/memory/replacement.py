@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from .address import hash32
 
 
@@ -47,6 +49,13 @@ class ReplacementPolicy:
         raise NotImplementedError
 
     def victim(self, set_idx: int, ways: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the policy's mutable state."""
+        raise NotImplementedError
+
+    def load_state(self, state: Dict[str, object]) -> None:
         raise NotImplementedError
 
 
@@ -84,6 +93,14 @@ class LRUPolicy(ReplacementPolicy):
         mine = stamps[way]
         return sum(1 for s in stamps if s > mine)
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"clock": self._clock,
+                "stamp": np.asarray(self._stamp, dtype=np.int64)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._clock = int(state["clock"])
+        self._stamp = [[int(s) for s in row] for row in state["stamp"]]
+
 
 class SRRIPPolicy(ReplacementPolicy):
     """Static RRIP with 2-bit RRPVs (insert at 2, promote to 0 on hit)."""
@@ -110,6 +127,12 @@ class SRRIPPolicy(ReplacementPolicy):
             for w in ways:
                 rrpv[w] += 1
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"rrpv": np.asarray(self._rrpv, dtype=np.int64)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._rrpv = [[int(v) for v in row] for row in state["rrpv"]]
+
 
 class RandomPolicy(ReplacementPolicy):
     """Deterministic pseudo-random replacement (xorshift state)."""
@@ -133,6 +156,12 @@ class RandomPolicy(ReplacementPolicy):
         s ^= (s << 5) & 0xFFFFFFFF
         self._state = s
         return ways[s % len(ways)]
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"state": self._state}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._state = int(state["state"])
 
 
 class _OptGen:
@@ -167,6 +196,17 @@ class _OptGen:
                 occ[i] += 1
             return True
         return False
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"occ": list(self._occ),
+                "last_seen": [[b, t] for b, t in self._last_seen.items()],
+                "time": self._time}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._occ = deque((int(o) for o in state["occ"]),
+                          maxlen=self.horizon)
+        self._last_seen = {int(b): int(t) for b, t in state["last_seen"]}
+        self._time = int(state["time"])
 
 
 class HawkeyeLitePolicy(ReplacementPolicy):
@@ -222,6 +262,30 @@ class HawkeyeLitePolicy(ReplacementPolicy):
             for w in ways:
                 rrpv[w] = min(6, rrpv[w] + 1)
         return best
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "rrpv": np.asarray(self._rrpv, dtype=np.int64),
+            "line_pc": np.asarray(self._line_pc, dtype=np.int64),
+            "counters": [[k, v] for k, v in self._counters.items()],
+            "optgen": [[s, g.state_dict()]
+                       for s, g in self._optgen.items()],
+            "opt_pc": [[s, [[b, p] for b, p in pcs.items()]]
+                       for s, pcs in self._opt_pc.items()],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._rrpv = [[int(v) for v in row] for row in state["rrpv"]]
+        self._line_pc = [[int(v) for v in row]
+                         for row in state["line_pc"]]
+        self._counters = {int(k): int(v) for k, v in state["counters"]}
+        self._optgen = {}
+        for set_idx, gstate in state["optgen"]:
+            gen = _OptGen(self.num_ways)
+            gen.load_state(gstate)
+            self._optgen[int(set_idx)] = gen
+        self._opt_pc = {int(s): {int(b): int(p) for b, p in pcs}
+                        for s, pcs in state["opt_pc"]}
 
 
 POLICIES = {

@@ -17,8 +17,8 @@ the prefetcher's ``owner_id``, and reports usefulness back through
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, ClassVar, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar, Dict, List, Optional
 
 #: L2 training scopes.  ``"all_l2"`` prefetchers (IPCP, Bingo, SPP-PPF —
 #: and the L1D prefetchers, which see every access at their own level)
@@ -98,6 +98,48 @@ class Prefetcher:
 
     def finalize(self, now: float) -> None:
         """Called at end of simulation (flush epoch state into stats)."""
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable state only; subclasses call ``super()`` and extend.
+
+        ``owner_id``/``hier`` are wiring (re-established at attach time)
+        and constructor parameters are configuration — neither belongs
+        in the snapshot.
+        """
+        return {"stats": asdict(self.stats)}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.stats = PrefetcherStats(
+            **{k: int(v) for k, v in state["stats"].items()})
+
+    # -- measurement-phase overrides ---------------------------------------
+
+    def apply_override(self, key: str, value: Any) -> None:
+        """Apply one measurement-phase knob (e.g. ``degree``).
+
+        Overrides run at the warm-up boundary in both straight and
+        checkpoint-restored runs, so sweeps that differ only in these
+        knobs share one warm-up snapshot.  Dispatches to a per-key
+        ``_override_<key>`` method.
+        """
+        handler = getattr(self, "_override_" + key.replace("-", "_"), None)
+        if handler is None:
+            raise ValueError(
+                f"{self.name}: unsupported measure override {key!r}")
+        handler(value)
+
+    def _override_degree(self, value: Any) -> None:
+        degree = int(value)
+        if degree < 1:
+            raise ValueError(f"degree override must be >= 1, got {degree}")
+        if hasattr(self, "degree"):
+            self.degree = degree
+        elif hasattr(self, "max_degree"):
+            self.max_degree = degree
+        else:
+            raise ValueError(f"{self.name} has no degree to override")
 
 
 class NullPrefetcher(Prefetcher):

@@ -76,3 +76,25 @@ class BertiPrefetcher(Prefetcher):
             e.best = [d for d, s in scored[:self.max_deltas] if s >= cutoff]
             e.scores.clear()
         return [blk + d for d in e.best]
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["table"] = [
+            [pc, {"history": [[i, b] for i, b in e.history],
+                  "scores": [[d, s] for d, s in e.scores.items()],
+                  "best": list(e.best),
+                  "accesses": e.accesses}]
+            for pc, e in self._table.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._table = OrderedDict()
+        for pc, es in state["table"]:
+            e = _BertiEntry()
+            e.history = [(int(i), int(b)) for i, b in es["history"]]
+            e.scores = defaultdict(
+                int, {int(d): int(s) for d, s in es["scores"]})
+            e.best = [int(d) for d in es["best"]]
+            e.accesses = int(es["accesses"])
+            self._table[int(pc)] = e

@@ -87,3 +87,26 @@ class BingoPrefetcher(Prefetcher):
                 if len(candidates) >= self.max_degree:
                     break
         return candidates
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["active"] = [[region, t.base_blk, t.pc, t.offset, t.bitmap]
+                           for region, t in self._active.items()]
+        # Tuple keys encoded as flat rows; order carries LRU recency.
+        state["long"] = [[pc, base, bm]
+                         for (pc, base), bm in self._long.items()]
+        state["short"] = [[pc, off, bm]
+                          for (pc, off), bm in self._short.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._active = OrderedDict()
+        for region, base_blk, pc, offset, bitmap in state["active"]:
+            tracker = _RegionTracker(int(base_blk), int(pc), int(offset))
+            tracker.bitmap = int(bitmap)
+            self._active[int(region)] = tracker
+        self._long = OrderedDict(((int(pc), int(base)), int(bm))
+                                 for pc, base, bm in state["long"])
+        self._short = OrderedDict(((int(pc), int(off)), int(bm))
+                                  for pc, off, bm in state["short"])

@@ -108,3 +108,28 @@ class IPCPPrefetcher(Prefetcher):
                 return [blk + best_delta * (k + 1)
                         for k in range(self.cplx_degree)]
         return []
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["table"] = [
+            [pc, e.last_blk, e.stride, e.stride_conf, e.signature, e.klass]
+            for pc, e in self._table.items()]
+        state["cplx"] = [[sig, [[d, n] for d, n in votes.items()]]
+                         for sig, votes in self._cplx.items()]
+        state["regions"] = [[r, n] for r, n in self._region_counts.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._table = OrderedDict()
+        for pc, last_blk, stride, conf, sig, klass in state["table"]:
+            e = _IPEntry(int(last_blk))
+            e.stride = int(stride)
+            e.stride_conf = int(conf)
+            e.signature = int(sig)
+            e.klass = str(klass)
+            self._table[int(pc)] = e
+        self._cplx = {int(sig): {int(d): int(n) for d, n in votes}
+                      for sig, votes in state["cplx"]}
+        self._region_counts = OrderedDict(
+            (int(r), int(n)) for r, n in state["regions"])

@@ -86,6 +86,24 @@ class TargetLUT:
             return None
         return (region << self.OFFSET_BITS) | offset
 
+    def state_dict(self) -> Dict[str, object]:
+        # _index is derived (region -> slot inverse of _regions).
+        return {"regions": list(self._regions),
+                "victim": self._victim,
+                "replacements": self.replacements}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        regions = [None if r is None else int(r)
+                   for r in state["regions"]]
+        if len(regions) != self.SLOTS:
+            raise ValueError(f"LUT has {len(regions)} slots, "
+                             f"expected {self.SLOTS}")
+        self._regions = regions
+        self._index = {r: slot for slot, r in enumerate(regions)
+                       if r is not None}
+        self._victim = int(state["victim"])
+        self.replacements = int(state["replacements"])
+
 
 class PairwiseStore:
     """Way-partitioned pairwise metadata store with an MRB in front.
@@ -290,6 +308,54 @@ class PairwiseStore:
             return blocks_moved
         return 0
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Entries, MRB (order = recency), counters, LUT.  Targets are
+        stored encoded ((slot, offset) pairs when compressed)."""
+        blocks = []
+        for (set_idx, way), block in self._blocks.items():
+            rows = []
+            for e in block:
+                target = list(e.target) if self.compressed else e.target
+                rows.append([e.trigger, e.tag, target, e.conf, e.rrpv])
+            blocks.append([set_idx, way, rows])
+        return {
+            "ways": self.ways,
+            "blocks": blocks,
+            "mrb": [[loc[0], loc[1], dirty]
+                    for loc, dirty in self._mrb.items()],
+            "lookups": self.lookups, "hits": self.hits,
+            "inserts": self.inserts, "dedup_writes": self.dedup_writes,
+            "alias_capacity": self.alias_capacity,
+            "lut": self.lut.state_dict() if self.lut is not None else None,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.ways = int(state["ways"])
+        self._blocks = {}
+        for set_idx, way, rows in state["blocks"]:
+            block = []
+            for trigger, tag, target, conf, rrpv in rows:
+                if self.compressed:
+                    target = (int(target[0]), int(target[1]))
+                else:
+                    target = int(target)
+                e = PairwiseEntry(int(trigger), int(tag), target)
+                e.conf = int(conf)
+                e.rrpv = int(rrpv)
+                block.append(e)
+            self._blocks[(int(set_idx), int(way))] = block
+        self._mrb = OrderedDict(
+            ((int(s), int(w)), bool(dirty)) for s, w, dirty in state["mrb"])
+        self.lookups = int(state["lookups"])
+        self.hits = int(state["hits"])
+        self.inserts = int(state["inserts"])
+        self.dedup_writes = int(state["dedup_writes"])
+        self.alias_capacity = int(state["alias_capacity"])
+        if self.lut is not None:
+            self.lut.load_state(state["lut"])
+
 
 class TrainingUnit:
     """Per-PC last-address tracker (Triage keeps one, Triangel keeps two)."""
@@ -313,3 +379,12 @@ class TrainingUnit:
         hist.insert(0, blk)
         del hist[self.depth:]
         return prev
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"table": [[pc, list(hist)]
+                          for pc, hist in self._table.items()]}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._table = OrderedDict(
+            (int(pc), [int(b) for b in hist])
+            for pc, hist in state["table"])

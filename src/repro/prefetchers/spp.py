@@ -115,3 +115,26 @@ class SPPPrefetcher(Prefetcher):
             cur_blk = cand
             cur_sig = _advance_signature(cur_sig, best_delta)
         return candidates
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["pages"] = [[page, sig, last_blk]
+                          for page, (sig, last_blk) in self._pages.items()]
+        state["pattern"] = [[sig, [[d, n] for d, n in votes.items()]]
+                            for sig, votes in self._pattern.items()]
+        state["weights"] = [[f, w] for f, w in self._weights.items()]
+        state["issued"] = [[blk, list(feats)]
+                           for blk, feats in self._issued_features.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._pages = OrderedDict(
+            (int(page), (int(sig), int(last_blk)))
+            for page, sig, last_blk in state["pages"])
+        self._pattern = {int(sig): {int(d): int(n) for d, n in votes}
+                         for sig, votes in state["pattern"]}
+        self._weights = {int(f): float(w) for f, w in state["weights"]}
+        self._issued_features = OrderedDict(
+            (int(blk), [int(f) for f in feats])
+            for blk, feats in state["issued"])

@@ -59,3 +59,19 @@ class StridePrefetcher(Prefetcher):
         if entry.confidence < self.min_confidence:
             return []
         return [blk + entry.stride * (k + 1) for k in range(self.degree)]
+
+    def state_dict(self):
+        state = super().state_dict()
+        # Pairs keep insertion order: eviction is FIFO via next(iter()).
+        state["table"] = [[pc, e.last_blk, e.stride, e.confidence]
+                          for pc, e in self._table.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._table = {}
+        for pc, last_blk, stride, confidence in state["table"]:
+            entry = _StrideEntry(int(last_blk))
+            entry.stride = int(stride)
+            entry.confidence = int(confidence)
+            self._table[int(pc)] = entry

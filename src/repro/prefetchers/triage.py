@@ -104,6 +104,25 @@ class TriagePrefetcher(Prefetcher):
             self.hier.metadata_access(now)
         return candidates
 
+    def state_dict(self):
+        state = super().state_dict()
+        state["tu"] = self.tu.state_dict()
+        state["store"] = self.store.state_dict()
+        state["controller"] = self.controller.state_dict()
+        state["accesses"] = self._accesses
+        state["epoch_lookups"] = self._epoch_lookups
+        state["epoch_hits"] = self._epoch_hits
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.tu.load_state(state["tu"])
+        self.store.load_state(state["store"])
+        self.controller.load_state(state["controller"])
+        self._accesses = int(state["accesses"])
+        self._epoch_lookups = int(state["epoch_lookups"])
+        self._epoch_hits = int(state["epoch_hits"])
+
 
 class IdealTriage(Prefetcher):
     """Triage with unlimited, free metadata (the irregular-subset oracle)."""
@@ -132,3 +151,14 @@ class IdealTriage(Prefetcher):
             candidates.append(target)
             cur = target
         return candidates
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["tu"] = self.tu.state_dict()
+        state["pairs"] = [[t, tgt] for t, tgt in self._pairs.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.tu.load_state(state["tu"])
+        self._pairs = {int(t): int(tgt) for t, tgt in state["pairs"]}

@@ -129,6 +129,25 @@ class _DuelingPartitioner:
         self.scores = [0.0] * len(self.sizes)
         return self.sizes[best]
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "shadow_lru": [[set_idx, list(lru)]
+                           for set_idx, lru in self._shadow_lru.items()],
+            "shadow_meta": [[[t, tgt] for t, tgt in shadow.items()]
+                            for shadow in self._shadow_meta],
+            "scores": list(self.scores),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._shadow_lru = {}
+        for set_idx, blks in state["shadow_lru"]:
+            self._shadow_lru[int(set_idx)] = OrderedDict(
+                (int(b), True) for b in blks)
+        self._shadow_meta = [
+            OrderedDict((int(t), int(tgt)) for t, tgt in pairs)
+            for pairs in state["shadow_meta"]]
+        self.scores = [float(s) for s in state["scores"]]
+
 
 class TriangelPrefetcher(Prefetcher):
     """The full Triangel baseline."""
@@ -304,3 +323,43 @@ class TriangelPrefetcher(Prefetcher):
     def finalize(self, now: float) -> None:
         if self.store is not None:
             self.store.flush_mrb()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["pcs"] = [
+            [pc, st.last1, st.last2, st.reuse_conf, st.pattern_conf,
+             st.sample_tick]
+            for pc, st in self._pcs.items()]
+        state["hs"] = [[trigger, t, p, used]
+                       for trigger, (t, p, used) in self._hs.items()]
+        state["scs"] = [[trigger, t, p, used]
+                        for trigger, (t, p, used) in self._scs.items()]
+        state["store"] = self.store.state_dict()
+        state["controller"] = self.controller.state_dict()
+        state["partitioner"] = self.partitioner.state_dict()
+        state["accesses"] = self._accesses
+        state["bypassed_inserts"] = self.bypassed_inserts
+        state["duel_events"] = self._duel_events
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._pcs = OrderedDict()
+        for pc, last1, last2, reuse, pattern, tick in state["pcs"]:
+            self._pcs[int(pc)] = _PCState(
+                last1=int(last1), last2=int(last2), reuse_conf=int(reuse),
+                pattern_conf=int(pattern), sample_tick=int(tick))
+        self._hs = OrderedDict(
+            (int(trigger), (int(t), int(p), bool(used)))
+            for trigger, t, p, used in state["hs"])
+        self._scs = OrderedDict(
+            (int(trigger), (int(t), int(p), bool(used)))
+            for trigger, t, p, used in state["scs"])
+        self.store.load_state(state["store"])
+        self.controller.load_state(state["controller"])
+        self.partitioner.load_state(state["partitioner"])
+        self._accesses = int(state["accesses"])
+        self.bypassed_inserts = int(state["bypassed_inserts"])
+        self._duel_events = int(state["duel_events"])

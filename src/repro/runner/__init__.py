@@ -9,12 +9,14 @@ process pool.
 
 Knobs: ``REPRO_JOBS`` (worker count; ``1`` = in-process serial),
 ``REPRO_CACHE=0`` (disable the disk cache), ``REPRO_CACHE_DIR``
-(relocate it).  See DESIGN.md "Execution model".
+(relocate it), ``REPRO_CKPT``/``REPRO_CKPT_DIR``/``REPRO_CKPT_MARK``
+(checkpoint & resume, see :mod:`repro.checkpoint`).  See DESIGN.md
+"Execution model" and "Checkpoint & resume".
 """
 
 from .cache import CacheStats, ResultCache, cache_enabled, \
     default_cache_dir
-from .jobs import JobResult, SimJob, execute_job
+from .jobs import JobResult, SimJob, execute_job, prewarm_job
 from .probes import ProbeContext, register_probe, run_probes
 from .runner import SimRunner, env_jobs, get_runner, reset_runner
 from .specs import VARIANT_PREFIX, PrefetcherSpec, as_spec, register, \
@@ -23,7 +25,7 @@ from .traces import get_trace
 
 __all__ = ["CacheStats", "ResultCache", "cache_enabled",
            "default_cache_dir", "JobResult", "SimJob", "execute_job",
-           "ProbeContext", "register_probe", "run_probes",
+           "prewarm_job", "ProbeContext", "register_probe", "run_probes",
            "SimRunner", "env_jobs",
            "get_runner", "reset_runner", "PrefetcherSpec", "as_spec",
            "register", "spec", "get_trace", "VARIANT_PREFIX"]

@@ -13,9 +13,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
+from ..checkpoint import FORMAT_VERSION as CKPT_FORMAT_VERSION
+from ..checkpoint import CheckpointStore, checkpoint_enabled, get_store, \
+    mark_interval
 from ..sim.config import SystemConfig
 from ..sim.multicore import MulticoreResult
 from ..sim.stats import SimResult
@@ -34,7 +38,12 @@ from .traces import get_trace
 #: ``telemetry`` probe; timing numbers are unchanged, but v2 pickles are
 #: conservatively invalidated rather than risking canonical-form
 #: collisions across the field addition.
-SCHEMA_VERSION = 3
+#: v4: checkpoint/resume subsystem.  Jobs gained ``measure_overrides``
+#: (post-warm-up prefetcher overrides, part of the canonical form:
+#: overridden runs are distinct results) and ``resume`` (pure execution
+#: strategy, excluded — a resumed run is bit-identical to a straight
+#: one); v3 pickles are conservatively invalidated.
+SCHEMA_VERSION = 4
 
 SINGLE = "single"
 MULTI = "multi"
@@ -52,6 +61,15 @@ class SimJob:
     l1: Optional[PrefetcherSpec] = None
     l2: Tuple[PrefetcherSpec, ...] = ()
     probes: Tuple[str, ...] = ()
+    #: Post-warm-up overrides applied to every L2 prefetcher (e.g.
+    #: ``(("degree", 2),)``): the warm-up runs at the spec's config, the
+    #: measured region at the overridden one — which is what lets a
+    #: degree sweep share a single warm-up checkpoint.
+    measure_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Execution strategy only (excluded from the fingerprint): restore
+    #: the warm-up region from the checkpoint store when possible, and
+    #: resume interrupted runs from their last progress mark.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in (SINGLE, MULTI):
@@ -66,23 +84,32 @@ class SimJob:
     @classmethod
     def single(cls, workload: str, n: int, config: SystemConfig,
                l1=None, l2: Sequence = (), seed: int = DEFAULT_SEED,
-               probes: Sequence[str] = ()) -> "SimJob":
+               probes: Sequence[str] = (),
+               measure_overrides: Sequence[Tuple[str, Any]] = (),
+               resume: bool = False) -> "SimJob":
         return cls(SINGLE, (workload,), n, seed, config, as_spec(l1),
-                   tuple(as_spec(s) for s in l2), tuple(probes))
+                   tuple(as_spec(s) for s in l2), tuple(probes),
+                   tuple(measure_overrides), resume)
 
     @classmethod
     def multi(cls, workloads: Sequence[str], n_per_core: int,
               config: SystemConfig, l1=None, l2: Sequence = (),
               seed: int = DEFAULT_SEED,
-              probes: Sequence[str] = ()) -> "SimJob":
+              probes: Sequence[str] = (),
+              measure_overrides: Sequence[Tuple[str, Any]] = (),
+              resume: bool = False) -> "SimJob":
         return cls(MULTI, tuple(workloads), n_per_core, seed, config,
                    as_spec(l1), tuple(as_spec(s) for s in l2),
-                   tuple(probes))
+                   tuple(probes), tuple(measure_overrides), resume)
 
     # -- identity ----------------------------------------------------------
 
     def canonical(self) -> Dict[str, Any]:
-        """JSON-friendly, key-sorted description of the job."""
+        """JSON-friendly, key-sorted description of the job.
+
+        ``resume`` is deliberately absent: resumed and straight runs are
+        bit-identical, so they must share one cache entry.
+        """
         return {
             "schema": SCHEMA_VERSION,
             "kind": self.kind,
@@ -93,6 +120,8 @@ class SimJob:
             "l1": self.l1.canonical() if self.l1 else None,
             "l2": [s.canonical() for s in self.l2],
             "probes": list(self.probes),
+            "measure_overrides": [[k, v]
+                                  for k, v in self.measure_overrides],
         }
 
     def fingerprint(self) -> str:
@@ -100,10 +129,40 @@ class SimJob:
                           default=repr).encode()
         return hashlib.sha256(blob).hexdigest()
 
+    def warmup_canonical(self) -> Dict[str, Any]:
+        """Canonical form of the *warm-up-relevant* part of the job.
+
+        Anything that cannot change a single warmed-up simulated state
+        is excluded: probes (post-run), measure overrides (applied only
+        after the boundary), telemetry (pure observer, snapshot-or-reset
+        on restore), and ``resume`` itself.  Includes the checkpoint
+        format version so a format bump orphans old snapshots instead of
+        misreading them.
+        """
+        config = dataclasses.asdict(self.config)
+        config["telemetry"] = None
+        return {
+            "schema": SCHEMA_VERSION,
+            "ckpt_format": CKPT_FORMAT_VERSION,
+            "kind": self.kind,
+            "workloads": list(self.workloads),
+            "n": self.n,
+            "seed": self.seed,
+            "config": config,
+            "l1": self.l1.canonical() if self.l1 else None,
+            "l2": [s.canonical() for s in self.l2],
+        }
+
+    def warmup_fingerprint(self) -> str:
+        """Key of the warm-up snapshot this job can share."""
+        blob = json.dumps(self.warmup_canonical(), sort_keys=True,
+                          default=repr).encode()
+        return hashlib.sha256(blob).hexdigest()
+
     # -- execution ---------------------------------------------------------
 
-    def execute(self) -> "JobResult":
-        """Run the simulation in this process (deterministic)."""
+    def _build_engine(self):
+        """A fresh engine for this job (deterministic)."""
         from ..sim.engine import Engine
         from ..sim.multicore import build_multicore
 
@@ -114,17 +173,120 @@ class SimJob:
             config = self.config
             if config.num_cores != 1:
                 config = config.scaled(num_cores=1)
-            engine = Engine([trace], config, l1_prefetcher=l1_factory,
-                            l2_prefetchers=l2_factories)
-            value: Union[SimResult, MulticoreResult] = \
-                engine.run().collect()[0]
+            return Engine([trace], config, l1_prefetcher=l1_factory,
+                          l2_prefetchers=l2_factories)
+        traces = [get_trace(wl, self.n, self.seed)
+                  for wl in self.workloads]
+        return build_multicore(traces, self.config,
+                               l1_prefetcher=l1_factory,
+                               l2_prefetchers=l2_factories)
+
+    def _apply_overrides(self, engine) -> None:
+        """Apply measure overrides to every L2 prefetcher.
+
+        Runs at the warm-up boundary on every path — straight, warm-up
+        restore, and progress-mark restore (overrides touch constructor
+        config, which snapshots deliberately do not carry).
+        """
+        for pf in engine.l2_prefetchers:
+            for key, value in self.measure_overrides:
+                pf.apply_override(key, value)
+
+    def _ckpt_meta(self, phase: str) -> Dict[str, Any]:
+        return {
+            "phase": phase,
+            "kind": self.kind,
+            "workloads": list(self.workloads),
+            "n": self.n,
+            "seed": self.seed,
+            "warmup_fingerprint": self.warmup_fingerprint(),
+        }
+
+    def prewarm(self, store: Optional[CheckpointStore] = None) -> bool:
+        """Simulate the warm-up region once and snapshot it.
+
+        Returns True when a snapshot was written (False when one already
+        exists or the job has no warm-up boundary to snapshot).
+        """
+        store = store if store is not None else get_store()
+        key = self.warmup_fingerprint()
+        if store.has(key):
+            return False
+        engine = self._build_engine()
+        engine.run_warmup()
+        if not engine.warmed:
+            return False  # zero-length warm-up: nothing to share
+        store.put(key, engine.state_dict(), self._ckpt_meta("warmup"))
+        return True
+
+    def execute(self) -> "JobResult":
+        """Run the simulation in this process (deterministic).
+
+        With ``resume=True`` (and ``REPRO_CKPT`` not disabled) the
+        warm-up region is restored from the checkpoint store when a
+        snapshot exists — and recorded when it doesn't — and, when
+        ``REPRO_CKPT_MARK`` is set, periodic progress marks make an
+        interrupted run restartable from its last mark.  Every path
+        produces bit-identical results to a straight run.
+        """
+        engine = self._build_engine()
+        store = get_store() if (self.resume and checkpoint_enabled()) \
+            else None
+        progress_key = "p-" + self.fingerprint()
+        restored = False
+        if store is not None:
+            state = store.get(progress_key)
+            if state is None:
+                warm_key = self.warmup_fingerprint()
+                state = store.get(warm_key)
+                if state is not None:
+                    try:
+                        engine.load_state(state)
+                        restored = True
+                    except (ValueError, RuntimeError, KeyError,
+                            TypeError) as exc:
+                        warnings.warn(
+                            f"discarding unusable warm-up checkpoint "
+                            f"{warm_key}: {exc}", stacklevel=2)
+                        store.remove(warm_key)
+                        engine = self._build_engine()
+                if not restored:
+                    engine.run_warmup()
+                    if engine.warmed:
+                        store.put(warm_key, engine.state_dict(),
+                                  self._ckpt_meta("warmup"))
+            else:
+                try:
+                    engine.load_state(state)
+                    restored = True
+                except (ValueError, RuntimeError, KeyError,
+                        TypeError) as exc:
+                    warnings.warn(
+                        f"discarding unusable progress checkpoint: "
+                        f"{exc}", stacklevel=2)
+                    store.remove(progress_key)
+                    engine = self._build_engine()
+                    engine.run_warmup()
         else:
-            traces = [get_trace(wl, self.n, self.seed)
-                      for wl in self.workloads]
-            engine = build_multicore(traces, self.config,
-                                     l1_prefetcher=l1_factory,
-                                     l2_prefetchers=l2_factories)
-            value = MulticoreResult(cores=engine.run().collect())
+            engine.run_warmup()
+        self._apply_overrides(engine)
+        if store is not None:
+            every = mark_interval()
+            if every:
+                meta = self._ckpt_meta("progress")
+
+                def on_mark(e) -> None:
+                    store.put(progress_key, e.state_dict(), meta)
+
+                engine.set_mark_hook(every, on_mark)
+        engine.run()
+        if store is not None:
+            store.remove(progress_key)
+        if self.kind == SINGLE:
+            value: Union[SimResult, MulticoreResult] = \
+                engine.collect()[0]
+        else:
+            value = MulticoreResult(cores=engine.collect())
         context = ProbeContext(prefetchers=engine.l2_prefetchers,
                                engine=engine)
         probe_values = run_probes(self.probes, context)
@@ -154,3 +316,8 @@ class JobResult:
 def execute_job(job: SimJob) -> JobResult:
     """Module-level entry point (picklable) for pool workers."""
     return job.execute()
+
+
+def prewarm_job(job: SimJob) -> bool:
+    """Module-level prewarm entry point (picklable) for pool workers."""
+    return job.prewarm()

@@ -16,8 +16,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from ..checkpoint import checkpoint_enabled, get_store
 from .cache import ResultCache
-from .jobs import JobResult, SimJob, execute_job
+from .jobs import JobResult, SimJob, execute_job, prewarm_job
 
 
 def env_jobs() -> int:
@@ -76,11 +77,41 @@ class SimRunner:
         return out
 
     def _execute(self, jobs: List[SimJob]) -> List[JobResult]:
+        self._prewarm(jobs)
         workers = min(self.workers, len(jobs))
         if workers <= 1:
             return [job.execute() for job in jobs]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(execute_job, jobs))
+
+    def _prewarm(self, jobs: List[SimJob]) -> None:
+        """Snapshot each shared warm-up prefix once, before fan-out.
+
+        Jobs that opt into ``resume`` and share a warm-up fingerprint
+        would otherwise each re-simulate the identical warm-up region
+        (or race to write the same snapshot); one representative per
+        missing fingerprint runs the prefix and records it, and the
+        batch proper then restores it N times.
+        """
+        if not checkpoint_enabled():
+            return
+        store = get_store()
+        groups: Dict[str, List[SimJob]] = {}
+        for job in jobs:
+            if job.resume:
+                groups.setdefault(job.warmup_fingerprint(), []).append(job)
+        representatives = [
+            members[0] for fp, members in groups.items()
+            if len(members) > 1 and not store.has(fp)]
+        if not representatives:
+            return
+        workers = min(self.workers, len(representatives))
+        if workers <= 1:
+            for job in representatives:
+                job.prewarm(store)
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(prewarm_job, representatives))
 
 
 _DEFAULT_CACHE: Optional[ResultCache] = None

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from itertools import islice
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple)
 
@@ -98,6 +99,23 @@ class CoreModel:
             completion, _ = self._outstanding.popleft()
             self.clock = max(self.clock, completion)
         return self.clock
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "clock": self.clock,
+            "instrs": self.instrs,
+            "outstanding": [[c, i] for c, i in self._outstanding],
+            "last_load_completion": self._last_load_completion,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.clock = float(state["clock"])
+        self.instrs = int(state["instrs"])
+        self._outstanding = deque((float(c), int(i))
+                                  for c, i in state["outstanding"])
+        self._last_load_completion = float(state["last_load_completion"])
 
 
 def build_uncore(config: SystemConfig) -> SharedUncore:
@@ -211,6 +229,17 @@ class Engine:
         self._warm_marks: List[Optional[Tuple[float, int]]] = \
             [None] * num_cores
         self._ran = False
+        # Incremental-stepping state, built lazily by _start() so a
+        # fresh engine can be restored from a checkpoint instead.
+        self._started = False
+        self._iters: List[Iterator[Record]] = []
+        self._warmups: List[int] = []
+        self._counts: List[int] = []
+        self._warmed = 0
+        self._heap: List[Tuple[float, int]] = []
+        self._measured_steps = 0
+        self._mark_every = 0
+        self._on_mark: Optional[Callable[["Engine"], None]] = None
         # Observability: pure bus subscribers, built only on opt-in.
         # The harness is reset at the warm-up boundary alongside the
         # uncore/bus counters and finalized in collect().
@@ -264,27 +293,35 @@ class Engine:
 
     # -- stepping ------------------------------------------------------------
 
-    def run(self) -> "Engine":
-        """Drive every core through its trace, handling warm-up resets."""
-        if self._ran:
-            raise RuntimeError("Engine.run() may only be called once")
-        self._ran = True
-        num_cores = self.num_cores
-        iters: List[Iterator[Record]] = [
+    def _start(self) -> None:
+        """Materialize iterators and the scheduling heap (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._iters = [
             iter(s) for s in (self._streams if self._streams is not None
                               else self.traces)]
-        warmups = [int(len(t) * self.config.warmup_fraction)
-                   for t in self.traces]
-        counts = [0] * num_cores
-        warmed = 0
+        self._warmups = [int(len(t) * self.config.warmup_fraction)
+                         for t in self.traces]
+        self._counts = [0] * self.num_cores
+        self._warmed = 0
         # Min-heap keyed by core-local clock keeps shared-resource
         # ordering consistent across cores.
-        heap = [(0.0, i) for i in range(num_cores)]
-        heapq.heapify(heap)
-        while heap:
-            _, i = heapq.heappop(heap)
+        self._heap = [(0.0, i) for i in range(self.num_cores)]
+        heapq.heapify(self._heap)
+
+    def _step(self) -> bool:
+        """Process one trace record on the furthest-behind core.
+
+        Returns False when every core's stream is exhausted.  Between
+        steps, each heap entry equals its core's current local clock,
+        which is what makes a mid-run snapshot restorable: the heap can
+        be rebuilt from the model clocks alone.
+        """
+        while self._heap:
+            _, i = heapq.heappop(self._heap)
             try:
-                pc, addr, is_write, gap, dep = next(iters[i])
+                pc, addr, is_write, gap, dep = next(self._iters[i])
             except StopIteration:
                 continue
             model = self.models[i]
@@ -292,13 +329,14 @@ class Engine:
             now = model.issue_time(dep)
             latency = self.cores[i].access(pc, addr, is_write, now)
             model.complete_access(now, latency, is_write)
-            counts[i] += 1
-            if counts[i] == warmups[i] and self._warm_marks[i] is None:
+            self._counts[i] += 1
+            if self._counts[i] == self._warmups[i] and \
+                    self._warm_marks[i] is None:
                 model.drain()
                 self._warm_marks[i] = (model.clock, model.instrs)
                 self.cores[i].reset_stats()
-                warmed += 1
-                if warmed == num_cores:
+                self._warmed += 1
+                if self._warmed == self.num_cores:
                     self.uncore.reset_stats()
                     for pf in self.uncore.prefetchers.values():
                         reset = getattr(pf, "reset_epoch_stats", None)
@@ -306,8 +344,137 @@ class Engine:
                             reset()
                     if self.telemetry is not None:
                         self.telemetry.reset()
-            heapq.heappush(heap, (model.clock, i))
+            heapq.heappush(self._heap, (model.clock, i))
+            return True
+        return False
+
+    @property
+    def warmed(self) -> bool:
+        """True once every core has crossed its warm-up boundary."""
+        return self._started and self._warmed == self.num_cores
+
+    def run_warmup(self) -> "Engine":
+        """Drive every core exactly to the warm-up boundary, then stop.
+
+        The engine state at this point is what the checkpoint layer
+        snapshots: everything after it is the measured region.  No-op
+        when any core has a zero-length warm-up (the boundary would
+        never fire, matching :meth:`run`'s behaviour).
+        """
+        if self._ran:
+            raise RuntimeError("Engine.run() already completed")
+        self._start()
+        if any(w == 0 for w in self._warmups):
+            return self
+        while self._warmed < self.num_cores:
+            if not self._step():
+                break
         return self
+
+    def set_mark_hook(self, every: int,
+                      callback: Callable[["Engine"], None]) -> None:
+        """Invoke ``callback(self)`` every ``every`` measured steps
+        (periodic progress marks for resumable runs)."""
+        if every < 1:
+            raise ValueError("mark interval must be >= 1")
+        self._mark_every = every
+        self._on_mark = callback
+
+    def run(self) -> "Engine":
+        """Drive every core through its trace, handling warm-up resets."""
+        if self._ran:
+            raise RuntimeError("Engine.run() may only be called once")
+        self._start()
+        while self._step():
+            if self._mark_every and self._warmed == self.num_cores:
+                self._measured_steps += 1
+                if self._measured_steps % self._mark_every == 0 and \
+                        self._on_mark is not None:
+                    self._on_mark(self)
+        self._ran = True
+        return self
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot every mutable piece of the simulated system.
+
+        Valid only between steps (engine code never calls it mid-step).
+        The trace iterators are not serialized; a restore re-derives
+        them by consuming ``counts[i]`` records from fresh streams, so
+        the restoring engine must be built from the same traces/config.
+        """
+        return {
+            "counts": list(self._counts),
+            "warmed": self._warmed,
+            "measured_steps": self._measured_steps,
+            "warm_marks": [list(m) if m is not None else None
+                           for m in self._warm_marks],
+            "models": [m.state_dict() for m in self.models],
+            "cores": [c.state_dict() for c in self.cores],
+            "uncore": self.uncore.state_dict(),
+            "prefetchers": [[pf.name, pf.state_dict()]
+                            for pf in self.uncore.prefetchers.values()],
+            "telemetry": (self.telemetry.state_dict()
+                          if self.telemetry is not None else None),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot into a freshly built engine.
+
+        The engine must have been constructed from the same traces,
+        config, and prefetcher factories as the one snapshotted;
+        mismatched shapes raise before any state is touched.
+        """
+        if self._started or self._ran:
+            raise RuntimeError(
+                "load_state() requires a fresh engine (not yet stepped)")
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != self.num_cores or \
+                len(state["models"]) != self.num_cores or \
+                len(state["cores"]) != self.num_cores:
+            raise ValueError("snapshot core count does not match engine")
+        snap_names = [name for name, _ in state["prefetchers"]]
+        own_names = [pf.name for pf in self.uncore.prefetchers.values()]
+        if snap_names != own_names:
+            raise ValueError(
+                f"snapshot prefetchers {snap_names} != engine "
+                f"prefetchers {own_names}")
+        self._start()
+        for i, count in enumerate(counts):
+            if count:
+                # Consume exactly `count` records (the snapshot already
+                # processed them).
+                next(islice(self._iters[i], count - 1, count), None)
+        self._counts = counts
+        self._warmed = int(state["warmed"])
+        self._measured_steps = int(state["measured_steps"])
+        self._warm_marks = [
+            (float(m[0]), int(m[1])) if m is not None else None
+            for m in state["warm_marks"]]
+        for model, mstate in zip(self.models, state["models"]):
+            model.load_state(mstate)
+        for core, cstate in zip(self.cores, state["cores"]):
+            core.load_state(cstate)
+        self.uncore.load_state(state["uncore"])
+        for pf, (_, pstate) in zip(self.uncore.prefetchers.values(),
+                                   state["prefetchers"]):
+            pf.load_state(pstate)
+        if self.telemetry is not None:
+            if state["telemetry"] is not None:
+                self.telemetry.load_state(state["telemetry"])
+            else:
+                # Snapshot came from a telemetry-off run (observers are
+                # bit-neutral); start the harness clean.
+                self.telemetry.reset()
+        # Rebuild the scheduler: between steps every heap entry equals
+        # its model's clock, and exhausted cores would pop straight to
+        # StopIteration, so they can simply be left out.
+        lengths = [len(t) for t in self.traces]
+        self._heap = [(self.models[i].clock, i)
+                      for i in range(self.num_cores)
+                      if counts[i] < lengths[i]]
+        heapq.heapify(self._heap)
 
     # -- results ---------------------------------------------------------------
 

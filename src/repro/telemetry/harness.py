@@ -73,6 +73,30 @@ class TelemetryHarness:
         if self.tracer is not None:
             self.tracer.detach()
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "sampler": (self.sampler.state_dict()
+                        if self.sampler is not None else None),
+            "tracer": (self.tracer.state_dict()
+                       if self.tracer is not None else None),
+            "finalized": self._finalized,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        if self.sampler is not None:
+            if state["sampler"] is not None:
+                self.sampler.load_state(state["sampler"])
+            else:
+                self.sampler.reset()
+        if self.tracer is not None:
+            if state["tracer"] is not None:
+                self.tracer.load_state(state["tracer"])
+            else:
+                self.tracer.reset()
+        self._finalized = bool(state["finalized"])
+
     # -- results ------------------------------------------------------------
 
     def export(self) -> Dict[str, object]:

@@ -222,3 +222,50 @@ class IntervalSampler:
         for kind, fn in self._handlers:
             self.bus.unsubscribe(kind, fn)
         self._handlers.clear()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "truncated": self.truncated,
+            "cum": [[c, self._cum[c]] for c in self.counters],
+            "prev": [[c, self._prev[c]] for c in self.counters],
+            "accesses": self._accesses,
+            "clock": self._clock,
+            "core_acc": [[c, n] for c, n in self._core_acc.items()],
+            "core_clock": [[c, t] for c, t in self._core_clock.items()],
+            "core_prev": [[c, a, t]
+                          for c, (a, t) in self._core_prev.items()],
+            "index": list(self._index),
+            "access_col": list(self._access_col),
+            "clock_col": list(self._clock_col),
+            "delta": [[c, list(self._delta_cols[c])]
+                      for c in self.counters],
+            "gauge": [[g, list(col)]
+                      for g, col in self._gauge_cols.items()],
+            "core_rate": [[c, list(col)]
+                          for c, col in self._core_rate_cols.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.truncated = bool(state["truncated"])
+        # The counting handlers close over _cum: mutate it in place.
+        for name, v in state["cum"]:
+            self._cum[str(name)] = int(v)
+        self._prev = {str(name): int(v) for name, v in state["prev"]}
+        self._accesses = int(state["accesses"])
+        self._clock = float(state["clock"])
+        self._core_acc = {int(c): int(n) for c, n in state["core_acc"]}
+        self._core_clock = {int(c): float(t)
+                            for c, t in state["core_clock"]}
+        self._core_prev = {int(c): (int(a), float(t))
+                           for c, a, t in state["core_prev"]}
+        self._index = [int(i) for i in state["index"]]
+        self._access_col = [int(a) for a in state["access_col"]]
+        self._clock_col = [float(t) for t in state["clock_col"]]
+        self._delta_cols = {str(c): [int(v) for v in col]
+                            for c, col in state["delta"]}
+        self._gauge_cols = {str(g): [float(v) for v in col]
+                            for g, col in state["gauge"]}
+        self._core_rate_cols = {int(c): [float(v) for v in col]
+                                for c, col in state["core_rate"]}

@@ -186,6 +186,38 @@ class PrefetchLifecycleTracer:
             self.bus.unsubscribe(kind, fn)
         self._handlers = []
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "pending_fill": [[lvl, blk, t] for (lvl, blk), t
+                             in self._pending_fill.items()],
+            "records": [[lvl, blk, r.owner, r.core_id, r.issued_at,
+                         r.ready]
+                        for (lvl, blk), r in self._records.items()],
+            "counts": [[owner, core, c.issued, c.on_time, c.late,
+                        c.unused, c.in_flight, c.late_cycles]
+                       for (owner, core), c in self.counts.items()],
+            "finalized": self._finalized,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._pending_fill = {(str(lvl), int(blk)): float(t)
+                              for lvl, blk, t in state["pending_fill"]}
+        self._records = {
+            (str(lvl), int(blk)): _Record(int(owner), int(core),
+                                          float(issued_at), float(ready))
+            for lvl, blk, owner, core, issued_at, ready
+            in state["records"]}
+        self.counts = {
+            (int(owner), int(core)): LifecycleCounts(
+                issued=int(issued), on_time=int(on_time), late=int(late),
+                unused=int(unused), in_flight=int(in_flight),
+                late_cycles=float(late_cycles))
+            for owner, core, issued, on_time, late, unused, in_flight,
+            late_cycles in state["counts"]}
+        self._finalized = bool(state["finalized"])
+
     # -- results ------------------------------------------------------------
 
     def by_owner(self) -> Dict[int, LifecycleCounts]:
