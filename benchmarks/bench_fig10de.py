@@ -16,5 +16,5 @@ def test_fig10de(benchmark):
 
 
 if __name__ == "__main__":
-    from repro.experiments import ALL_EXPERIMENTS
-    print(ALL_EXPERIMENTS["fig10de"]().table())
+    from _harness import main_experiment
+    main_experiment("fig10de")

@@ -16,5 +16,5 @@ def test_fig9(benchmark):
 
 
 if __name__ == "__main__":
-    from repro.experiments import ALL_EXPERIMENTS
-    print(ALL_EXPERIMENTS["fig9"]().table())
+    from _harness import main_experiment
+    main_experiment("fig9")

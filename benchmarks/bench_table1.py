@@ -16,5 +16,5 @@ def test_table1(benchmark):
 
 
 if __name__ == "__main__":
-    from repro.experiments import ALL_EXPERIMENTS
-    print(ALL_EXPERIMENTS["table1"]().table())
+    from _harness import main_experiment
+    main_experiment("table1")

@@ -1,0 +1,54 @@
+"""Validated environment knobs, shared across subsystems.
+
+Every ``REPRO_*`` knob is parsed through these helpers so a malformed
+value fails immediately with an error naming the variable and the
+accepted forms — never as a bare ``int()`` traceback deep inside a
+sweep, and never by silently treating junk as "on".  (The pattern
+started with ``REPRO_JOBS``/``REPRO_TRACE_CACHE`` in ``repro.runner``
+and ``REPRO_TELEMETRY_INTERVAL`` in ``repro.telemetry``; this module is
+the shared home for it.)
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    """An integer knob; unset/empty means ``default``.
+
+    Values below ``minimum`` (and non-integers) raise ``ValueError``
+    with the variable named.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {raw!r}") \
+            from None
+    if value < minimum:
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {raw!r}")
+    return value
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """A strict boolean knob: unset/empty -> ``default``, ``0``/``1``
+    -> off/on, anything else -> ``ValueError``.
+
+    Strictness matters for flags: ``REPRO_QUICK=yes`` silently meaning
+    "on" (or, worse, a typo like ``REPRO_PROFILE=l`` meaning "on") hides
+    the user's intent; rejecting junk surfaces it.
+    """
+    raw = os.environ.get(name, "")
+    if raw == "":
+        return default
+    if raw == "0":
+        return False
+    if raw == "1":
+        return True
+    raise ValueError(
+        f"{name} must be unset, '', '0', or '1', got {raw!r}")

@@ -18,10 +18,10 @@ out over a process pool.  Scale knobs come from the environment:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..envknobs import env_flag, env_int
 from ..runner import PrefetcherSpec, SimJob, SimRunner, as_spec, \
     get_runner, spec
 from ..sim.config import SystemConfig
@@ -44,11 +44,20 @@ COMPONENT_SET = ["gap.pr", "gap.cc", "gap.bfs", "06.omnetpp"]
 
 
 def env_n(default: int = 60_000) -> int:
-    return int(os.environ.get("REPRO_N", default))
+    """Accesses per trace from ``REPRO_N``.
+
+    Validated like every other knob: a malformed or non-positive value
+    raises immediately with the variable named, instead of surfacing as
+    a bare ``int()`` traceback (or a nonsensical zero-length trace)
+    somewhere inside a sweep.
+    """
+    return env_int("REPRO_N", default)
 
 
 def quick_mode() -> bool:
-    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+    """The ``REPRO_QUICK`` opt-in (strict: junk values raise, they do
+    not silently mean "on")."""
+    return env_flag("REPRO_QUICK", False)
 
 
 def telemetry_config() -> Optional[TelemetryConfig]:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
+from ..obs.profile import SpanProfiler
 from ..prefetchers.base import (Prefetcher, PrefetcherStats, TRAIN_SCOPES,
                                 TRAIN_SCOPE_ALL_L2)
 from .address import block_of
@@ -141,9 +142,11 @@ class UncoreLevel:
 
     name = "llc"
 
-    def __init__(self, uncore: SharedUncore, core_id: int):
+    def __init__(self, uncore: SharedUncore, core_id: int,
+                 profiler: Optional[SpanProfiler] = None):
         self.uncore = uncore
         self.core_id = core_id
+        self.profiler = profiler
 
     def access(self, req: MemoryRequest) -> float:
         """Access LLC (and DRAM on miss); fills the LLC on a miss.
@@ -151,6 +154,16 @@ class UncoreLevel:
         Adds this level's whole contribution (port delay + LLC latency +
         DRAM on a miss) to ``req.latency`` in one piece and returns it.
         """
+        prof = self.profiler
+        if prof is None:
+            return self._access(req)
+        prof.start("lookup:llc")
+        try:
+            return self._access(req)
+        finally:
+            prof.stop()
+
+    def _access(self, req: MemoryRequest) -> float:
         uncore = self.uncore
         bus = uncore.bus
         now = req.clock
@@ -170,8 +183,15 @@ class UncoreLevel:
                                              lat))
             req.latency += lat
             return lat
-        dram_lat = uncore.dram.access(req.blk, now + lat,
-                                      is_prefetch=req.origin == PREFETCH)
+        prof = self.profiler
+        if prof is not None:
+            prof.start("dram")
+        try:
+            dram_lat = uncore.dram.access(req.blk, now + lat,
+                                          is_prefetch=req.origin == PREFETCH)
+        finally:
+            if prof is not None:
+                prof.stop()
         lat += dram_lat
         evicted = uncore.llc.fill(req.blk, now + lat, req.pc)
         bus.publish(EV.FILL, self.name, self.core_id, req.blk, pc=req.pc,
@@ -218,7 +238,8 @@ class CacheLevel:
 
     def __init__(self, name: str, cache: Cache, core_id: int, bus: EventBus,
                  below: Union["CacheLevel", UncoreLevel],
-                 sink_writes: bool = False):
+                 sink_writes: bool = False,
+                 profiler: Optional[SpanProfiler] = None):
         self.name = name
         self.cache = cache
         self.core_id = core_id
@@ -227,9 +248,21 @@ class CacheLevel:
         #: Only the first level sees the access's write bit; dirtiness
         #: enters lower levels through writebacks.
         self.sink_writes = sink_writes
+        self.profiler = profiler
+        self._span = "lookup:" + name
 
     def access(self, req: MemoryRequest) -> float:
         """Serve ``req`` at this level; returns the latency contribution."""
+        prof = self.profiler
+        if prof is None:
+            return self._access(req)
+        prof.start(self._span)
+        try:
+            return self._access(req)
+        finally:
+            prof.stop()
+
+    def _access(self, req: MemoryRequest) -> float:
         cache = self.cache
         res = cache.lookup(req.blk, req.clock,
                            req.is_write if self.sink_writes else False)
@@ -295,20 +328,23 @@ class CoreHierarchy:
     """One core's private level chain plus its view of the shared uncore."""
 
     def __init__(self, core_id: int, l1d: Cache, l2: Cache,
-                 uncore: SharedUncore):
+                 uncore: SharedUncore,
+                 profiler: Optional[SpanProfiler] = None):
         self.core_id = core_id
         self.l1d = l1d
         self.l2 = l2
         self.uncore = uncore
         self.bus = uncore.bus
+        self.profiler = profiler
         # The request pipeline: L1D -> L2 -> shared uncore.  Adding a
         # level (e.g. an L3 victim cache) is an insertion here, not an
         # access-path rewrite.
-        self.uncore_level = UncoreLevel(uncore, core_id)
+        self.uncore_level = UncoreLevel(uncore, core_id, profiler=profiler)
         self.l2_level = CacheLevel("l2", l2, core_id, self.bus,
-                                   self.uncore_level)
+                                   self.uncore_level, profiler=profiler)
         self.l1_level = CacheLevel("l1d", l1d, core_id, self.bus,
-                                   self.l2_level, sink_writes=True)
+                                   self.l2_level, sink_writes=True,
+                                   profiler=profiler)
         self.levels: List[CacheLevel] = [self.l1_level, self.l2_level]
         self.l1_prefetcher: Optional[Prefetcher] = None
         self.l2_prefetchers: List[Prefetcher] = []
@@ -364,27 +400,74 @@ class CoreHierarchy:
 
     def _make_l1_trainer(self, pf: Prefetcher):
         """L1D training: every demand lookup at this core's L1D."""
-        def train(ev: HierarchyEvent) -> None:
+        prof = self.profiler
+        if prof is None:
+            def train(ev: HierarchyEvent) -> None:
+                if ev.level != "l1d" or ev.core_id != self.core_id:
+                    return
+                for cand in pf.train(ev.pc, ev.blk, ev.hit,
+                                     ev.was_prefetched, ev.now):
+                    self.issue_prefetch(cand, ev.pc, ev.now, pf.owner_id,
+                                        "l1d")
+            return train
+        train_span = "train:" + pf.name
+        issue_span = "issue:" + pf.name
+
+        def train_profiled(ev: HierarchyEvent) -> None:
             if ev.level != "l1d" or ev.core_id != self.core_id:
                 return
-            for cand in pf.train(ev.pc, ev.blk, ev.hit, ev.was_prefetched,
-                                 ev.now):
-                self.issue_prefetch(cand, ev.pc, ev.now, pf.owner_id, "l1d")
-        return train
+            prof.start(train_span)
+            try:
+                cands = list(pf.train(ev.pc, ev.blk, ev.hit,
+                                      ev.was_prefetched, ev.now))
+            finally:
+                prof.stop()
+            if cands:
+                prof.start(issue_span)
+                try:
+                    for cand in cands:
+                        self.issue_prefetch(cand, ev.pc, ev.now,
+                                            pf.owner_id, "l1d")
+                finally:
+                    prof.stop()
+        return train_profiled
 
     def _make_l2_trainer(self, pf: Prefetcher):
         """L2 training: gated by the prefetcher's declared train_scope."""
         all_l2 = pf.train_scope == TRAIN_SCOPE_ALL_L2
+        prof = self.profiler
+        if prof is None:
+            def train(ev: HierarchyEvent) -> None:
+                if ev.core_id != self.core_id:
+                    return
+                if all_l2 or not ev.hit or ev.was_prefetched:
+                    for cand in pf.train(ev.pc, ev.blk, ev.hit,
+                                         ev.was_prefetched, ev.now):
+                        self.issue_prefetch(cand, ev.pc, ev.now,
+                                            pf.owner_id, "l2")
+            return train
+        train_span = "train:" + pf.name
+        issue_span = "issue:" + pf.name
 
-        def train(ev: HierarchyEvent) -> None:
+        def train_profiled(ev: HierarchyEvent) -> None:
             if ev.core_id != self.core_id:
                 return
             if all_l2 or not ev.hit or ev.was_prefetched:
-                for cand in pf.train(ev.pc, ev.blk, ev.hit,
-                                     ev.was_prefetched, ev.now):
-                    self.issue_prefetch(cand, ev.pc, ev.now, pf.owner_id,
-                                        "l2")
-        return train
+                prof.start(train_span)
+                try:
+                    cands = list(pf.train(ev.pc, ev.blk, ev.hit,
+                                          ev.was_prefetched, ev.now))
+                finally:
+                    prof.stop()
+                if cands:
+                    prof.start(issue_span)
+                    try:
+                        for cand in cands:
+                            self.issue_prefetch(cand, ev.pc, ev.now,
+                                                pf.owner_id, "l2")
+                    finally:
+                        prof.stop()
+        return train_profiled
 
     # -- prefetch issue ---------------------------------------------------------
 
@@ -431,6 +514,16 @@ class CoreHierarchy:
 
     def metadata_access(self, now: float, is_write: bool = False) -> float:
         """One metadata block access through the shared LLC port."""
+        prof = self.profiler
+        if prof is None:
+            return self._metadata_access(now, is_write)
+        prof.start("metadata")
+        try:
+            return self._metadata_access(now, is_write)
+        finally:
+            prof.stop()
+
+    def _metadata_access(self, now: float, is_write: bool) -> float:
         self.uncore.metadata_llc_accesses += 1
         delay = self.uncore.port_delay(now)
         self.bus.publish(EV.METADATA_WRITE if is_write else EV.METADATA_READ,

@@ -1,0 +1,21 @@
+"""repro.obs — observability for the simulator itself.
+
+Three layers, all opt-in or free-by-default:
+
+* :mod:`.runlog` — structured JSONL run logs (per-job wall time, cache
+  and checkpoint effectiveness), merged across pool workers.  On by
+  default, ``REPRO_OBS=0`` disables.
+* :mod:`.profile` — the ``REPRO_PROFILE=1`` span profiler; nested
+  wall-clock spans over job phases and hot-path components, attached to
+  ``SimResult.profile`` and the runlog.
+* :mod:`.progress` — the TTY-aware live sweep progress line
+  (``REPRO_PROGRESS`` override).
+
+``python -m repro.obs`` (see :mod:`.__main__`) reports over merged run
+logs.  Telemetry (:mod:`repro.telemetry`) answers what the simulated
+hardware did; obs answers what the simulator did.
+"""
+
+from . import profile, progress, report, runlog
+
+__all__ = ["profile", "progress", "report", "runlog"]

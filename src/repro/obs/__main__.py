@@ -1,0 +1,113 @@
+"""CLI: browse and report on structured run logs.
+
+::
+
+    python -m repro.obs list                 # merged runs, oldest first
+    python -m repro.obs report [run_id]      # markdown report (default:
+                                             #   latest run)
+    python -m repro.obs top [run_id]         # hottest components only
+
+``run_id`` may be any unique prefix of a run directory name under
+``benchmarks/.obs`` (or ``REPRO_OBS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from typing import List, Optional
+
+from . import report, runlog
+
+
+def _resolve_run(prefix: Optional[str]) -> Optional[pathlib.Path]:
+    runs = runlog.list_runs()
+    if not runs:
+        print("no merged runs under", runlog.obs_dir(), file=sys.stderr)
+        return None
+    if not prefix:
+        return runs[-1]
+    matches = [r for r in runs if r.name.startswith(prefix)]
+    if not matches:
+        print(f"no run matches {prefix!r}; try `python -m repro.obs list`",
+              file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(f"{prefix!r} is ambiguous:", file=sys.stderr)
+        for r in matches:
+            print(" ", r.name, file=sys.stderr)
+        return None
+    return matches[0]
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    runs = runlog.list_runs()
+    if not runs:
+        print("no merged runs under", runlog.obs_dir())
+        return 0
+    print(f"{'run':<32} {'jobs':>5} {'exec':>5} {'cache':>5} "
+          f"{'prof':>5} {'wall':>9}")
+    for run_dir in runs:
+        summary = report.summarize(run_dir)
+        cached = summary.memo_hits + summary.disk_hits
+        print(f"{summary.run_id:<32} {summary.total:>5} "
+              f"{summary.executed:>5} {cached:>5} "
+              f"{len(summary.profiled_jobs):>5} "
+              f"{summary.wall_seconds:>8.2f}s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    run_dir = _resolve_run(args.run_id)
+    if run_dir is None:
+        return 1
+    print(report.render(report.summarize(run_dir), top=args.top))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    run_dir = _resolve_run(args.run_id)
+    if run_dir is None:
+        return 1
+    print(report.render_top(report.summarize(run_dir), top=args.top))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="simulator run logs, span profiles, and reports")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_list = sub.add_parser("list", help="merged runs, oldest first")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_rep = sub.add_parser("report", help="markdown report for one run")
+    p_rep.add_argument("run_id", nargs="?", default=None,
+                       help="run id prefix (default: latest run)")
+    p_rep.add_argument("--top", type=int, default=10,
+                       help="rows in the slowest-jobs table")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_top = sub.add_parser("top", help="hottest components for one run")
+    p_top.add_argument("run_id", nargs="?", default=None,
+                       help="run id prefix (default: latest run)")
+    p_top.add_argument("--top", type=int, default=10,
+                       help="components to show")
+    p_top.set_defaults(fn=cmd_top)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.fn(args))
+    except BrokenPipeError:
+        # Reports are routinely piped into `head`; a closed pipe is not
+        # an error worth a traceback.  Point stdout at devnull so the
+        # interpreter-exit flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

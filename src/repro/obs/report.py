@@ -1,0 +1,234 @@
+"""Cross-run aggregation: runlogs + profiles -> a markdown report.
+
+The runlog gives per-job wall times and cache/prewarm effectiveness;
+``job_end`` records carry the span profile when ``REPRO_PROFILE`` was
+on.  This module folds one run directory's merged ``runlog.jsonl`` into
+a :class:`RunSummary` and renders it as the markdown report behind
+``python -m repro.obs report``: slowest jobs, time breakdown by
+component, cache/checkpoint effectiveness, and the nested-span table.
+Telemetry complements it (what the simulated *hardware* did); the obs
+report is about what the *simulator* did.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from . import runlog
+
+
+@dataclass
+class JobRecord:
+    """One executed job, folded from its ``job_start``/``job_end`` pair."""
+
+    fingerprint: str
+    workloads: List[str]
+    prefetcher: str
+    wall_seconds: float
+    restored: bool
+    pid: int
+    profile: Optional[Dict[str, Any]] = None
+
+    @property
+    def label(self) -> str:
+        wl = "+".join(self.workloads) if self.workloads else "?"
+        return f"{wl}/{self.prefetcher} [{self.fingerprint[:10]}]"
+
+
+@dataclass
+class RunSummary:
+    """Everything the report renders, aggregated from one runlog."""
+
+    run_id: str
+    records: List[Dict[str, Any]]
+    jobs: List[JobRecord] = field(default_factory=list)
+    total: int = 0
+    executed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    ckpt_hits: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 0
+
+    @property
+    def profiled_jobs(self) -> List[JobRecord]:
+        return [j for j in self.jobs if j.profile]
+
+    def components(self) -> Dict[str, Dict[str, Any]]:
+        """Per-component self time summed across every profiled job."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for job in self.profiled_jobs:
+            for name, comp in job.profile["components"].items():
+                agg = out.setdefault(name, {"seconds": 0.0, "count": 0})
+                agg["seconds"] += comp["seconds"]
+                agg["count"] += comp["count"]
+        return out
+
+    def phases(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for job in self.profiled_jobs:
+            for name, seconds in job.profile["phases"].items():
+                out[name] = out.get(name, 0.0) + seconds
+        return out
+
+    def spans(self) -> Dict[str, Dict[str, Any]]:
+        """The nested-span table summed across every profiled job."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for job in self.profiled_jobs:
+            for span in job.profile["spans"]:
+                agg = out.setdefault(
+                    span["path"], {"total": 0.0, "self": 0.0, "count": 0})
+                agg["total"] += span["total"]
+                agg["self"] += span["self"]
+                agg["count"] += span["count"]
+        return out
+
+
+def summarize(run_dir: pathlib.Path) -> RunSummary:
+    """Fold one merged run directory into a :class:`RunSummary`."""
+    run_dir = pathlib.Path(run_dir)
+    records = runlog.load_runlog(run_dir / runlog.MERGED)
+    summary = RunSummary(run_id=run_dir.name, records=records)
+    starts: Dict[str, Dict[str, Any]] = {}
+    for rec in records:
+        event = rec.get("event")
+        if event == "run_start":
+            summary.total = int(rec.get("jobs", 0))
+            summary.memo_hits = int(rec.get("memo_hits", 0))
+            summary.disk_hits = int(rec.get("disk_hits", 0))
+            summary.workers = int(rec.get("workers", 0))
+        elif event == "run_end":
+            summary.wall_seconds = float(rec.get("wall_seconds", 0.0))
+            summary.ckpt_hits = int(rec.get("ckpt_hits", 0))
+        elif event == "job_start":
+            starts[str(rec.get("fingerprint"))] = rec
+        elif event == "job_end":
+            fp = str(rec.get("fingerprint"))
+            start = starts.get(fp, {})
+            summary.jobs.append(JobRecord(
+                fingerprint=fp,
+                workloads=list(rec.get("workloads",
+                                       start.get("workloads", []))),
+                prefetcher=str(rec.get("prefetcher",
+                                       start.get("prefetcher", "?"))),
+                wall_seconds=float(rec.get("wall_seconds", 0.0)),
+                restored=bool(rec.get("restored", False)),
+                pid=int(rec.get("pid", 0)),
+                profile=rec.get("profile"),
+            ))
+    summary.executed = len(summary.jobs)
+    return summary
+
+
+# -- markdown rendering --------------------------------------------------------
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _secs(seconds: float) -> str:
+    return f"{seconds:.3f}s"
+
+
+def render(summary: RunSummary, top: int = 10) -> str:
+    """The full markdown report for one run."""
+    lines = [f"# obs report — run {summary.run_id}", ""]
+
+    # Run overview: batch size and where the jobs came from.
+    cached = summary.memo_hits + summary.disk_hits
+    lines.append("## Run")
+    lines.append("")
+    lines.extend(_table(
+        ["jobs", "executed", "memo hits", "disk hits", "ckpt prewarm",
+         "workers", "wall"],
+        [[str(summary.total), str(summary.executed),
+          str(summary.memo_hits), str(summary.disk_hits),
+          str(summary.ckpt_hits), str(summary.workers),
+          _secs(summary.wall_seconds)]]))
+    if summary.total:
+        lines.append("")
+        lines.append(
+            f"Cache served {cached}/{summary.total} jobs; "
+            f"{sum(1 for j in summary.jobs if j.restored)} executed jobs "
+            f"restored a warm-up checkpoint.")
+    lines.append("")
+
+    # Slowest jobs, by executed wall time.
+    if summary.jobs:
+        lines.append(f"## Slowest jobs (top {top})")
+        lines.append("")
+        ranked = sorted(summary.jobs, key=lambda j: -j.wall_seconds)[:top]
+        lines.extend(_table(
+            ["job", "wall", "ckpt", "pid"],
+            [[j.label, _secs(j.wall_seconds),
+              "restore" if j.restored else "-", str(j.pid)]
+             for j in ranked]))
+        lines.append("")
+
+    profiled = summary.profiled_jobs
+    if profiled:
+        total_wall = sum(j.profile["wall_seconds"] for j in profiled)
+        lines.append(f"## Time by component ({len(profiled)} profiled "
+                     f"jobs, {_secs(total_wall)} total)")
+        lines.append("")
+        comps = sorted(summary.components().items(),
+                       key=lambda kv: -kv[1]["seconds"])
+        lines.extend(_table(
+            ["component", "self time", "share", "count"],
+            [[name, _secs(comp["seconds"]),
+              f"{100 * comp['seconds'] / total_wall:.1f}%"
+              if total_wall else "-",
+              str(comp["count"])]
+             for name, comp in comps]))
+        lines.append("")
+
+        lines.append("## Time by phase")
+        lines.append("")
+        phases = sorted(summary.phases().items(), key=lambda kv: -kv[1])
+        lines.extend(_table(
+            ["phase", "time", "share"],
+            [[name, _secs(seconds),
+              f"{100 * seconds / total_wall:.1f}%" if total_wall else "-"]
+             for name, seconds in phases]))
+        lines.append("")
+
+        lines.append("## Span tree")
+        lines.append("")
+        rows = []
+        for path, agg in sorted(summary.spans().items()):
+            depth = path.count("/")
+            name = path.rpartition("/")[2]
+            rows.append(["&nbsp;" * 2 * depth + name, _secs(agg["total"]),
+                         _secs(agg["self"]), str(agg["count"])])
+        lines.extend(_table(["span", "total", "self", "count"], rows))
+        lines.append("")
+    else:
+        lines.append("_No span profiles in this run "
+                     "(set `REPRO_PROFILE=1` to collect them)._")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def render_top(summary: RunSummary, top: int = 10) -> str:
+    """The compact ``top`` view: hottest components only."""
+    profiled = summary.profiled_jobs
+    if not profiled:
+        return ("no span profiles in run "
+                f"{summary.run_id} (set REPRO_PROFILE=1)")
+    total_wall = sum(j.profile["wall_seconds"] for j in profiled)
+    comps = sorted(summary.components().items(),
+                   key=lambda kv: -kv[1]["seconds"])[:top]
+    width = max(len(name) for name, _ in comps)
+    lines = [f"run {summary.run_id}: {len(profiled)} profiled jobs, "
+             f"{_secs(total_wall)}"]
+    for name, comp in comps:
+        share = 100 * comp["seconds"] / total_wall if total_wall else 0.0
+        lines.append(f"  {name:<{width}}  {comp['seconds']:>9.3f}s "
+                     f"{share:5.1f}%  x{comp['count']}")
+    return "\n".join(lines)

@@ -13,13 +13,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, ContextManager, Dict, Optional, Sequence, Tuple, \
+    Union
 
 from ..checkpoint import FORMAT_VERSION as CKPT_FORMAT_VERSION
 from ..checkpoint import CheckpointStore, checkpoint_enabled, get_store, \
     mark_interval
+from ..obs import profile as obs_profile
+from ..obs import runlog as obs_runlog
+from ..obs.profile import SpanProfiler
 from ..sim.config import SystemConfig
 from ..sim.multicore import MulticoreResult
 from ..sim.stats import SimResult
@@ -43,7 +49,11 @@ from .traces import get_trace
 #: overridden runs are distinct results) and ``resume`` (pure execution
 #: strategy, excluded — a resumed run is bit-identical to a straight
 #: one); v3 pickles are conservatively invalidated.
-SCHEMA_VERSION = 4
+#: v5: observability subsystem.  ``SimResult`` gained the ``profile``
+#: payload (``REPRO_PROFILE=1`` span timings; None on the default path).
+#: Timing numbers are unchanged, but v4 pickles predate the field and
+#: are conservatively invalidated.
+SCHEMA_VERSION = 5
 
 SINGLE = "single"
 MULTI = "multi"
@@ -219,6 +229,13 @@ class SimJob:
         store.put(key, engine.state_dict(), self._ckpt_meta("warmup"))
         return True
 
+    def _label(self) -> str:
+        """Short prefetcher label for run logs and reports."""
+        parts = [s.name for s in self.l2]
+        if self.l1 is not None:
+            parts.insert(0, f"l1:{self.l1.name}")
+        return "+".join(parts) if parts else "none"
+
     def execute(self) -> "JobResult":
         """Run the simulation in this process (deterministic).
 
@@ -228,20 +245,64 @@ class SimJob:
         ``REPRO_CKPT_MARK`` is set, periodic progress marks make an
         interrupted run restartable from its last mark.  Every path
         produces bit-identical results to a straight run.
+
+        Under ``REPRO_PROFILE=1`` the run is additionally wrapped in a
+        span profiler (the engine and hierarchy pick it up at build
+        time); simulated numbers stay bit-identical, and the profile is
+        attached to single-core results and to the ``job_end`` run-log
+        record.  Run-log records are emitted whenever a writer is
+        installed for this process (the runner's pool initializer).
         """
-        engine = self._build_engine()
+        prof = obs_profile.start_job()
+        log = obs_runlog.current()
+        fp = self.fingerprint() if (log is not None) else ""
+        t0 = time.perf_counter()
+        if log is not None:
+            log.emit("job_start", fingerprint=fp, kind=self.kind,
+                     workloads=list(self.workloads), n=self.n,
+                     prefetcher=self._label())
+        try:
+            result, restored = self._execute_impl(prof)
+        finally:
+            obs_profile.end_job(prof)
+        if prof is not None and self.kind == SINGLE:
+            result = JobResult(
+                value=dataclasses.replace(result.single,
+                                          profile=prof.report()),
+                probes=result.probes)
+        if log is not None:
+            log.emit("job_end", fingerprint=fp, kind=self.kind,
+                     workloads=list(self.workloads), n=self.n,
+                     prefetcher=self._label(),
+                     wall_seconds=time.perf_counter() - t0,
+                     restored=restored,
+                     profile=prof.report() if prof is not None else None)
+        return result
+
+    def _execute_impl(self, prof: Optional[SpanProfiler]) \
+            -> Tuple["JobResult", bool]:
+        """The execution body; returns (result, restored-from-ckpt)."""
+
+        def span(name: str) -> ContextManager[None]:
+            return prof.span(name) if prof is not None else nullcontext()
+
+        with span("build"):
+            engine = self._build_engine()
         store = get_store() if (self.resume and checkpoint_enabled()) \
             else None
         progress_key = "p-" + self.fingerprint()
         restored = False
         if store is not None:
-            state = store.get(progress_key)
+            with span("ckpt:load"):
+                state = store.get(progress_key)
             if state is None:
                 warm_key = self.warmup_fingerprint()
-                state = store.get(warm_key)
+                with span("ckpt:load"):
+                    state = store.get(warm_key)
                 if state is not None:
                     try:
-                        engine.load_state(state)
+                        with span("ckpt:load"):
+                            engine.load_state(state)
                         restored = True
                     except (ValueError, RuntimeError, KeyError,
                             TypeError) as exc:
@@ -249,15 +310,18 @@ class SimJob:
                             f"discarding unusable warm-up checkpoint "
                             f"{warm_key}: {exc}", stacklevel=2)
                         store.remove(warm_key)
-                        engine = self._build_engine()
+                        with span("build"):
+                            engine = self._build_engine()
                 if not restored:
                     engine.run_warmup()
                     if engine.warmed:
-                        store.put(warm_key, engine.state_dict(),
-                                  self._ckpt_meta("warmup"))
+                        with span("ckpt:save"):
+                            store.put(warm_key, engine.state_dict(),
+                                      self._ckpt_meta("warmup"))
             else:
                 try:
-                    engine.load_state(state)
+                    with span("ckpt:load"):
+                        engine.load_state(state)
                     restored = True
                 except (ValueError, RuntimeError, KeyError,
                         TypeError) as exc:
@@ -265,7 +329,8 @@ class SimJob:
                         f"discarding unusable progress checkpoint: "
                         f"{exc}", stacklevel=2)
                     store.remove(progress_key)
-                    engine = self._build_engine()
+                    with span("build"):
+                        engine = self._build_engine()
                     engine.run_warmup()
         else:
             engine.run_warmup()
@@ -287,10 +352,11 @@ class SimJob:
                 engine.collect()[0]
         else:
             value = MulticoreResult(cores=engine.collect())
-        context = ProbeContext(prefetchers=engine.l2_prefetchers,
-                               engine=engine)
-        probe_values = run_probes(self.probes, context)
-        return JobResult(value=value, probes=probe_values)
+        with span("probes"):
+            context = ProbeContext(prefetchers=engine.l2_prefetchers,
+                                   engine=engine)
+            probe_values = run_probes(self.probes, context)
+        return JobResult(value=value, probes=probe_values), restored
 
 
 @dataclass

@@ -13,10 +13,14 @@ serial and parallel runs are bit-identical (asserted by
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence
 
 from ..checkpoint import checkpoint_enabled, get_store
+from ..obs import profile as obs_profile
+from ..obs import runlog as obs_runlog
+from ..obs.progress import ProgressLine
 from .cache import ResultCache
 from .jobs import JobResult, SimJob, execute_job, prewarm_job
 
@@ -56,35 +60,108 @@ class SimRunner:
         return self.run([job])[0]
 
     def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
-        """Run a batch; returns results in input order."""
+        """Run a batch; returns results in input order.
+
+        Profiled runs (``REPRO_PROFILE=1``) bypass the result cache in
+        both directions: a cached result has no fresh timing to offer,
+        and a profiled result must not displace the golden cached one
+        (``SimResult.profile`` would make it compare unequal to an
+        unprofiled rerun).
+        """
         fingerprints = [job.fingerprint() for job in jobs]
+        profiled = obs_profile.enabled()
         # Dedup within the batch and against the cache.
+        results: Dict[str, JobResult] = {}
         pending: Dict[str, SimJob] = {}
+        before = self.cache.stats.snapshot()
         for job, fp in zip(jobs, fingerprints):
-            if fp in pending:
+            if fp in pending or fp in results:
                 continue
-            if self.cache.get(fp) is None:
+            cached = None if profiled else self.cache.get(fp)
+            if cached is not None:
+                results[fp] = cached
+            else:
                 pending[fp] = job
-        if pending:
-            for fp, result in zip(pending,
-                                  self._execute(list(pending.values()))):
-                self.cache.put(fp, result)
-        out = []
-        for fp in fingerprints:
-            result = self.cache.memo.get(fp)
-            assert result is not None, f"job {fp} produced no result"
-            out.append(result)
-        return out
+        if pending or results:
+            # Fully cache-served batches still go through _execute (with
+            # nothing to run) so the run log records them — a warm sweep
+            # is the cache's best case, not a non-event.
+            after = self.cache.stats.snapshot()
+            executed = self._execute(
+                list(pending.values()),
+                total=len(pending) + len(results),
+                memo_hits=after["memo_hits"] - before["memo_hits"],
+                disk_hits=after["disk_hits"] - before["disk_hits"])
+            for fp, result in zip(pending, executed):
+                results[fp] = result
+                if not profiled:
+                    self.cache.put(fp, result)
+        return [results[fp] for fp in fingerprints]
 
-    def _execute(self, jobs: List[SimJob]) -> List[JobResult]:
-        self._prewarm(jobs)
+    def _execute(self, jobs: List[SimJob], total: Optional[int] = None,
+                 memo_hits: int = 0, disk_hits: int = 0) \
+            -> List[JobResult]:
+        total = len(jobs) if total is None else total
+        log: Optional[obs_runlog.RunLog] = None
+        writer: Optional[obs_runlog.RunLogWriter] = None
+        if obs_runlog.enabled():
+            log = obs_runlog.RunLog.create()
+            writer = log.parent_writer()
+        ckpt_hits = self._prewarm(jobs, writer)
         workers = min(self.workers, len(jobs))
-        if workers <= 1:
-            return [job.execute() for job in jobs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_job, jobs))
+        if writer is not None:
+            writer.emit("run_start", run_id=log.run_id,
+                        schema=obs_runlog.RUNLOG_SCHEMA_VERSION,
+                        jobs=total, executed=len(jobs),
+                        memo_hits=memo_hits, disk_hits=disk_hits,
+                        workers=workers,
+                        profiled=obs_profile.enabled())
+        line = ProgressLine(total, done=memo_hits + disk_hits)
+        line.update(memo_hits=memo_hits, disk_hits=disk_hits,
+                    ckpt_hits=ckpt_hits)
+        t0 = time.perf_counter()
+        try:
+            if workers <= 1:
+                # Serial in-process path: log into a shard of our own so
+                # the merged view looks the same as a pooled run.
+                if log is not None:
+                    obs_runlog.init_worker(str(log.directory))
+                try:
+                    results = []
+                    for job in jobs:
+                        results.append(job.execute())
+                        line.update(done=line.done + 1)
+                finally:
+                    if log is not None:
+                        shard = obs_runlog.current()
+                        obs_runlog.uninstall()
+                        if shard is not None:
+                            shard.close()
+            else:
+                initializer = obs_runlog.init_worker \
+                    if log is not None else None
+                initargs = (str(log.directory),) if log is not None else ()
+                with ProcessPoolExecutor(max_workers=workers,
+                                         initializer=initializer,
+                                         initargs=initargs) as pool:
+                    futures = [pool.submit(execute_job, job)
+                               for job in jobs]
+                    for future in as_completed(futures):
+                        future.result()  # surface worker failures now
+                        line.update(done=line.done + 1)
+                    results = [future.result() for future in futures]
+        finally:
+            line.finish()
+            if writer is not None:
+                writer.emit("run_end", run_id=log.run_id,
+                            wall_seconds=time.perf_counter() - t0,
+                            ckpt_hits=ckpt_hits)
+                writer.close()
+                log.merge()
+        return results
 
-    def _prewarm(self, jobs: List[SimJob]) -> None:
+    def _prewarm(self, jobs: List[SimJob],
+                 writer: Optional[obs_runlog.RunLogWriter] = None) -> int:
         """Snapshot each shared warm-up prefix once, before fan-out.
 
         Jobs that opt into ``resume`` and share a warm-up fingerprint
@@ -92,26 +169,34 @@ class SimRunner:
         (or race to write the same snapshot); one representative per
         missing fingerprint runs the prefix and records it, and the
         batch proper then restores it N times.
+
+        Returns how many of this batch's jobs will restore a warm-up
+        snapshot (the progress line's ``ckpt`` counter).
         """
         if not checkpoint_enabled():
-            return
+            return 0
         store = get_store()
         groups: Dict[str, List[SimJob]] = {}
         for job in jobs:
             if job.resume:
                 groups.setdefault(job.warmup_fingerprint(), []).append(job)
+        if not groups:
+            return 0
         representatives = [
             members[0] for fp, members in groups.items()
             if len(members) > 1 and not store.has(fp)]
-        if not representatives:
-            return
-        workers = min(self.workers, len(representatives))
-        if workers <= 1:
-            for job in representatives:
-                job.prewarm(store)
-            return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(prewarm_job, representatives))
+        if representatives:
+            workers = min(self.workers, len(representatives))
+            if workers <= 1:
+                for job in representatives:
+                    job.prewarm(store)
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    list(pool.map(prewarm_job, representatives))
+            if writer is not None:
+                writer.emit("prewarm", snapshots=len(representatives))
+        return sum(len(members) for fp, members in groups.items()
+                   if store.has(fp))
 
 
 _DEFAULT_CACHE: Optional[ResultCache] = None

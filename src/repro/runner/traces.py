@@ -14,6 +14,7 @@ import os
 from collections import OrderedDict
 from typing import Tuple
 
+from ..obs import profile as obs_profile
 from ..sim.trace import Trace
 from ..workloads import make
 
@@ -45,7 +46,14 @@ def get_trace(workload: str, n: int, seed: int) -> Trace:
     if hit is not None:
         _cache.move_to_end(key)
         return hit
-    trace = make(workload, n, seed)
+    prof = obs_profile.current()
+    if prof is None:
+        trace = make(workload, n, seed)
+    else:
+        # Cache misses are the expensive path worth attributing; hits
+        # are dict lookups and stay unspanned.
+        with prof.span("trace"):
+            trace = make(workload, n, seed)
     cap = _capacity()
     if cap > 0:
         _cache[key] = trace

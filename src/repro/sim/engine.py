@@ -31,6 +31,7 @@ from ..memory.cache import Cache
 from ..memory.dram import DRAM
 from ..memory.events import EventBus
 from ..memory.hierarchy import CoreHierarchy, SharedUncore
+from ..obs import profile as obs_profile
 from ..prefetchers.base import Prefetcher
 from ..telemetry import TelemetryHarness
 from .config import SystemConfig
@@ -132,14 +133,15 @@ def build_uncore(config: SystemConfig) -> SharedUncore:
 def build_core(core_id: int, config: SystemConfig,
                uncore: SharedUncore,
                l1_prefetcher: Optional[PrefetcherFactory] = None,
-               l2_prefetchers: Sequence[PrefetcherFactory] = ()
+               l2_prefetchers: Sequence[PrefetcherFactory] = (),
+               profiler: Optional[obs_profile.SpanProfiler] = None
                ) -> CoreHierarchy:
     """Construct one core's private hierarchy and attach its prefetchers."""
     l1d = Cache("L1D", config.l1d_size, config.l1d_ways, config.l1d_latency,
                 replacement="lru")
     l2 = Cache("L2", config.l2_size, config.l2_ways, config.l2_latency,
                replacement="lru")
-    core = CoreHierarchy(core_id, l1d, l2, uncore)
+    core = CoreHierarchy(core_id, l1d, l2, uncore, profiler=profiler)
     if l1_prefetcher is not None:
         core.attach_l1_prefetcher(l1_prefetcher())
     for factory in l2_prefetchers:
@@ -217,10 +219,13 @@ class Engine:
         if config.num_cores != num_cores:
             config = config.scaled(num_cores=num_cores)
         self.config = config
+        # The active span profiler (None unless REPRO_PROFILE=1): captured
+        # at build time so the hot path branches on a bound attribute.
+        self._prof = obs_profile.current()
         self.uncore = build_uncore(config)
         self.bus: EventBus = self.uncore.bus
         self.cores = [build_core(i, config, self.uncore, l1_prefetcher,
-                                 l2_prefetchers)
+                                 l2_prefetchers, profiler=self._prof)
                       for i in range(num_cores)]
         self.models = [CoreModel(config) for _ in range(num_cores)]
         if streams is not None and len(streams) != num_cores:
@@ -366,9 +371,16 @@ class Engine:
         self._start()
         if any(w == 0 for w in self._warmups):
             return self
-        while self._warmed < self.num_cores:
-            if not self._step():
-                break
+        prof = self._prof
+        if prof is not None:
+            prof.start("warmup")
+        try:
+            while self._warmed < self.num_cores:
+                if not self._step():
+                    break
+        finally:
+            if prof is not None:
+                prof.stop()
         return self
 
     def set_mark_hook(self, every: int,
@@ -385,12 +397,19 @@ class Engine:
         if self._ran:
             raise RuntimeError("Engine.run() may only be called once")
         self._start()
-        while self._step():
-            if self._mark_every and self._warmed == self.num_cores:
-                self._measured_steps += 1
-                if self._measured_steps % self._mark_every == 0 and \
-                        self._on_mark is not None:
-                    self._on_mark(self)
+        prof = self._prof
+        if prof is not None:
+            prof.start("measure")
+        try:
+            while self._step():
+                if self._mark_every and self._warmed == self.num_cores:
+                    self._measured_steps += 1
+                    if self._measured_steps % self._mark_every == 0 and \
+                            self._on_mark is not None:
+                        self._on_mark(self)
+        finally:
+            if prof is not None:
+                prof.stop()
         self._ran = True
         return self
 
@@ -485,6 +504,16 @@ class Engine:
         result (``SimResult.events``) for observability and the
         conservation checks.
         """
+        prof = self._prof
+        if prof is not None:
+            prof.start("collect")
+        try:
+            return self._collect_impl()
+        finally:
+            if prof is not None:
+                prof.stop()
+
+    def _collect_impl(self) -> List[SimResult]:
         if self.telemetry is not None:
             self.telemetry.finalize()
         events = self.bus.counts_flat() if self.num_cores == 1 else None

@@ -64,6 +64,11 @@ class SimResult:
     #: attached by single-core engine runs; None for multi-core runs
     #: (the bus is shared, so per-core attribution would be misleading).
     events: Optional[Dict[str, int]] = None
+    #: Span-profiler payload (``repro.obs.profile`` report), attached to
+    #: single-core results under ``REPRO_PROFILE=1``; None otherwise.
+    #: Pure observation: two results that differ only here describe
+    #: bit-identical simulations.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def ipc(self) -> float:

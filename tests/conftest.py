@@ -13,6 +13,9 @@ from repro.sim.trace import TraceBuilder
 # possibly semantically different) builds.  Cache tests opt back in with
 # explicit ResultCache instances.
 os.environ.setdefault("REPRO_CACHE", "0")
+# Likewise don't litter benchmarks/.obs with run logs from every runner
+# test; obs tests opt back in with REPRO_OBS=1 + a tmp REPRO_OBS_DIR.
+os.environ.setdefault("REPRO_OBS", "0")
 
 
 @pytest.fixture

@@ -1,0 +1,374 @@
+"""Observability subsystem: profiler purity, span trees, run logs,
+progress, knobs, and the report CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+from repro.envknobs import env_flag, env_int
+from repro.obs import profile, progress, report, runlog
+from repro.runner import SimJob, SimRunner, spec
+from repro.runner.cache import ResultCache
+from repro.sim.config import SystemConfig
+
+
+def _tiny_job(workload: str = "gap.pr", pf: str = "stride",
+              n: int = 3000) -> SimJob:
+    return SimJob.single(workload, n, SystemConfig().scaled_down(8),
+                         l1="stride", l2=(spec(pf),))
+
+
+def _runner() -> SimRunner:
+    return SimRunner(jobs=1, cache=ResultCache(persistent=False))
+
+
+# -- env knobs -----------------------------------------------------------------
+
+class TestEnvKnobs:
+    def test_env_int_default_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N", raising=False)
+        assert env_int("REPRO_N", 42) == 42
+        monkeypatch.setenv("REPRO_N", "1000")
+        assert env_int("REPRO_N", 42) == 1000
+
+    @pytest.mark.parametrize("bad", ["abc", "1.5", "0", "-3"])
+    def test_env_int_rejects_junk_and_nonpositive(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_N", bad)
+        with pytest.raises(ValueError, match="REPRO_N"):
+            env_int("REPRO_N", 42)
+
+    def test_env_flag_strict(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        assert env_flag("REPRO_QUICK", False) is False
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert env_flag("REPRO_QUICK", False) is True
+        monkeypatch.setenv("REPRO_QUICK", "0")
+        assert env_flag("REPRO_QUICK", True) is False
+        monkeypatch.setenv("REPRO_QUICK", "yes")
+        with pytest.raises(ValueError, match="REPRO_QUICK"):
+            env_flag("REPRO_QUICK", False)
+
+    def test_experiment_knobs_use_validation(self, monkeypatch):
+        from repro.experiments.common import env_n, quick_mode
+        monkeypatch.setenv("REPRO_N", "oops")
+        with pytest.raises(ValueError, match="REPRO_N"):
+            env_n()
+        monkeypatch.setenv("REPRO_N", "-1")
+        with pytest.raises(ValueError, match="REPRO_N"):
+            env_n()
+        monkeypatch.setenv("REPRO_QUICK", "junk")
+        with pytest.raises(ValueError, match="REPRO_QUICK"):
+            quick_mode()
+
+
+# -- span profiler -------------------------------------------------------------
+
+class TestSpanProfiler:
+    def test_nesting_and_aggregation(self):
+        prof = profile.SpanProfiler()
+        prof.start("job")
+        prof.start("a")
+        with prof.span("b"):
+            pass
+        with prof.span("b"):
+            pass
+        prof.stop()
+        prof.stop()
+        spans = {s["path"]: s for s in prof.spans()}
+        assert set(spans) == {"job", "job/a", "job/a/b"}
+        assert spans["job/a/b"]["count"] == 2
+        # Child total <= parent total, self <= total, everywhere.
+        assert spans["job/a/b"]["total"] <= spans["job/a"]["total"]
+        assert spans["job/a"]["total"] <= spans["job"]["total"]
+        for s in spans.values():
+            assert 0.0 <= s["self"] <= s["total"] + 1e-12
+
+    def test_report_phases_and_components(self):
+        prof = profile.SpanProfiler()
+        prof.start(profile.ROOT)
+        with prof.span("measure"):
+            with prof.span("lookup:l1d"):
+                with prof.span("lookup:l2"):
+                    pass
+        prof.stop()
+        rep = prof.report()
+        assert rep["enabled"] and rep["wall_seconds"] > 0
+        assert set(rep["phases"]) == {"measure"}
+        assert {"measure", "lookup:l1d", "lookup:l2",
+                profile.ROOT} <= set(rep["components"])
+        # Self-times partition the root: their sum equals the wall.
+        total_self = sum(c["seconds"] for c in rep["components"].values())
+        assert total_self == pytest.approx(rep["wall_seconds"], rel=0.2)
+
+    def test_close_pops_abandoned_spans(self):
+        prof = profile.SpanProfiler()
+        prof.start("job")
+        prof.start("leak")
+        prof.close()
+        assert {s["path"] for s in prof.spans()} == {"job", "job/leak"}
+
+    def test_enabled_knob_strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "maybe")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
+            profile.enabled()
+
+    def test_start_job_off_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile.start_job() is None
+        assert profile.current() is None
+
+
+class TestProfiledExecution:
+    def test_off_runs_bit_identical_and_unprofiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        job = _tiny_job()
+        a, b = job.execute(), job.execute()
+        assert a.single == b.single
+        assert a.single.profile is None
+
+    def test_profiled_run_pure_and_well_formed(self, monkeypatch):
+        job = _tiny_job()
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        plain = job.execute()
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        profiled = job.execute()
+        payload = profiled.single.profile
+        assert payload is not None
+        # Purity: masking the profile recovers the plain result exactly.
+        masked = dataclasses.replace(profiled.single, profile=None)
+        assert masked == plain.single
+        # Well-formedness: phases partition the wall; spans nest.
+        wall = payload["wall_seconds"]
+        assert 0 < sum(payload["phases"].values()) <= wall * 1.1
+        comp_total = sum(c["seconds"]
+                         for c in payload["components"].values())
+        assert comp_total <= wall * 1.1
+        by_path = {s["path"]: s for s in payload["spans"]}
+        for path, s in by_path.items():
+            assert s["self"] <= s["total"] + 1e-9
+            parent = path.rpartition("/")[0]
+            if parent:
+                assert s["total"] <= by_path[parent]["total"] + 1e-9
+        assert {"lookup:l1d", "lookup:l2", "lookup:llc"} <= \
+            set(payload["components"])
+        # The active profiler never leaks past the job.
+        assert profile.current() is None
+
+    def test_profiled_run_bypasses_cache(self, monkeypatch):
+        runner = _runner()
+        job = _tiny_job()
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        runner.run_one(job)
+        assert runner.cache.stats.snapshot() == \
+            {"memo_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+        monkeypatch.delenv("REPRO_PROFILE")
+        runner.run_one(job)
+        assert runner.cache.stats.misses == 1
+
+
+# -- run logs ------------------------------------------------------------------
+
+class TestRunLog:
+    def test_writer_envelope_and_merge_ordering(self, tmp_path):
+        log = runlog.RunLog("r1", tmp_path / "r1")
+        log.directory.mkdir(parents=True)
+        # Interleave two "workers" with deliberately equal timestamps to
+        # exercise the (ts, pid, seq) tie-break.
+        for pid, name in ((2, "worker-2"), (1, "worker-1")):
+            with open(log.directory / f"{name}.jsonl", "w") as fh:
+                for seq in range(3):
+                    fh.write(json.dumps({"ts": 100.0, "pid": pid,
+                                         "seq": seq, "event": "e"}) + "\n")
+        merged = log.merge()
+        records = runlog.load_runlog(merged)
+        assert [(r["pid"], r["seq"]) for r in records] == \
+            [(1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)]
+        # Shards are consumed by the merge.
+        assert sorted(p.name for p in log.directory.iterdir()) == \
+            ["runlog.jsonl"]
+
+    def test_merge_skips_torn_lines(self, tmp_path):
+        log = runlog.RunLog("r2", tmp_path / "r2")
+        log.directory.mkdir(parents=True)
+        (log.directory / "worker-9.jsonl").write_text(
+            json.dumps({"ts": 1.0, "pid": 9, "seq": 0, "event": "ok"})
+            + "\n" + '{"ts": 2.0, "pid": 9, "se')  # killed mid-write
+        records = runlog.load_runlog(log.merge())
+        assert [r["event"] for r in records] == ["ok"]
+
+    def test_enabled_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert not runlog.enabled()
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert runlog.enabled()
+        monkeypatch.setenv("REPRO_OBS", "2")
+        with pytest.raises(ValueError, match="REPRO_OBS"):
+            runlog.enabled()
+
+    def _sweep(self, workers: int, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        jobs = [SimJob.single(wl, 3000, SystemConfig().scaled_down(8),
+                              l1="stride", l2=(spec(pf),))
+                for wl in ("gap.pr", "gap.bfs")
+                for pf in ("stride", "streamline")]
+        runner = SimRunner(jobs=workers,
+                           cache=ResultCache(persistent=False))
+        results = runner.run(jobs)
+        runs = runlog.list_runs(tmp_path)
+        assert len(runs) == 1
+        return results, runlog.load_runlog(runs[0] / runlog.MERGED)
+
+    def test_serial_sweep_logs_jobs(self, tmp_path, monkeypatch):
+        _, records = self._sweep(1, tmp_path, monkeypatch)
+        events = [r["event"] for r in records]
+        assert events[0] == "run_start" and events[-1] == "run_end"
+        assert events.count("job_start") == 4
+        assert events.count("job_end") == 4
+        start = next(r for r in records if r["event"] == "run_start")
+        assert start["jobs"] == 4 and start["executed"] == 4
+
+    def test_multiworker_merge_is_ordered_and_complete(self, tmp_path,
+                                                       monkeypatch):
+        results, records = self._sweep(2, tmp_path, monkeypatch)
+        assert len(results) == 4
+        # Global ordering: non-decreasing (ts, pid, seq).
+        keys = [(r["ts"], r["pid"], r["seq"]) for r in records]
+        assert keys == sorted(keys)
+        # Per-writer order survives the merge.
+        ends = [r for r in records if r["event"] == "job_end"]
+        assert len(ends) == 4
+        assert len({r["pid"] for r in ends}) >= 1
+        for r in ends:
+            assert r["wall_seconds"] > 0
+            assert r["fingerprint"]
+            assert r["profile"] is None  # REPRO_PROFILE off
+
+
+# -- progress line -------------------------------------------------------------
+
+class TestProgress:
+    def test_silent_when_piped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        buf = io.StringIO()  # not a TTY
+        line = progress.ProgressLine(4, stream=buf)
+        line.update(done=2)
+        line.finish()
+        assert buf.getvalue() == ""
+
+    def test_renders_on_tty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        buf = Tty()
+        line = progress.ProgressLine(4, stream=buf, min_interval=0.0)
+        line.update(done=1, memo_hits=1)
+        line.update(done=2)
+        line.finish()
+        out = buf.getvalue()
+        assert "\r" in out and out.endswith("\n")
+        assert "2/4 jobs" in out and "memo 1" in out
+
+    def test_forced_on_and_off(self, monkeypatch):
+        buf = io.StringIO()
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        line = progress.ProgressLine(2, stream=buf, min_interval=0.0)
+        line.update(done=1)
+        assert "1/2 jobs" in buf.getvalue()
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        tty = Tty()
+        line = progress.ProgressLine(2, stream=tty)
+        line.update(done=1)
+        line.finish()
+        assert tty.getvalue() == ""
+
+    def test_junk_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "loud")
+        with pytest.raises(ValueError, match="REPRO_PROGRESS"):
+            progress.wanted(io.StringIO())
+
+    def test_eta_excludes_cache_hits(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        buf = io.StringIO()
+        line = progress.ProgressLine(10, done=8, stream=buf,
+                                     min_interval=0.0)
+        # No executed jobs yet: no rate, so no (absurdly small) ETA.
+        assert "eta" not in line.render_line()
+        line.update(done=9)
+        assert "eta" in line.render_line()
+
+    def test_format_eta(self):
+        assert progress.format_eta(41) == "0:41"
+        assert progress.format_eta(3661) == "1:01:01"
+        assert progress.format_eta(-5) == "0:00"
+
+
+# -- report + CLI --------------------------------------------------------------
+
+class TestReportCli:
+    @pytest.fixture()
+    def sweep_dir(self, tmp_path, monkeypatch):
+        """A profiled 2-workload x 2-prefetcher sweep's obs directory."""
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        jobs = [SimJob.single(wl, 3000, SystemConfig().scaled_down(8),
+                              l1="stride", l2=(spec(pf),))
+                for wl in ("gap.pr", "gap.bfs")
+                for pf in ("stride", "streamline")]
+        SimRunner(jobs=1, cache=ResultCache(persistent=False)).run(jobs)
+        return tmp_path
+
+    def test_summarize_and_render(self, sweep_dir):
+        runs = runlog.list_runs(sweep_dir)
+        assert len(runs) == 1
+        summary = report.summarize(runs[0])
+        assert summary.total == 4 and summary.executed == 4
+        assert len(summary.profiled_jobs) == 4
+        components = summary.components()
+        assert "lookup:l1d" in components
+        text = report.render(summary)
+        assert "Slowest jobs" in text
+        assert "Time by component" in text
+        assert "Span tree" in text
+        assert "gap.pr" in text
+        top = report.render_top(summary)
+        assert "4 profiled jobs" in top
+
+    def test_cli_smoke(self, sweep_dir):
+        env = dict(os.environ,
+                   REPRO_OBS_DIR=str(sweep_dir),
+                   PYTHONPATH=str(pathlib.Path("src").resolve()))
+        for args in (["list"], ["report"], ["top"],
+                     ["report", "--top", "3"]):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.obs"] + args,
+                env=env, capture_output=True, text=True, timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip()
+
+    def test_cli_unknown_run(self, sweep_dir):
+        env = dict(os.environ,
+                   REPRO_OBS_DIR=str(sweep_dir),
+                   PYTHONPATH=str(pathlib.Path("src").resolve()))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "report", "nope"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 1
+        assert "no run matches" in proc.stderr
