@@ -1,0 +1,194 @@
+"""Engine fast path: bit-identity matrix + wall-clock speedup floors.
+
+Two guarantees, asserted every run:
+
+1. **Bit-identity** — for every matrix config (3 workloads x 3
+   prefetcher sets, including an L1 prefetcher and a telemetry-on
+   config), the fast path's ``SimResult`` and bus event counters equal
+   the scalar loop's exactly.
+2. **It pays** — the fast path beats the scalar loop.  Floors are set
+   from measured reality, not aspiration: baseline configs (no L2
+   temporal prefetcher) run 3-4x, temporal configs 1.7-2x because the
+   trainer chain (Streamline/Triangel metadata updates on every L2
+   access) is shared scalar code the fast path deliberately does not
+   touch — Amdahl's law caps the ratio.  See benchmarks/README.md.
+
+Floors (full scale / ``REPRO_QUICK``): best config >= 2.2x / 1.5x,
+total-wall >= 1.35x / 1.1x.
+
+Run standalone: ``python benchmarks/bench_fastpath.py``
+"""
+
+import dataclasses
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+#: (workload, l1 spec, l2 specs, telemetry on) — the identity matrix.
+#: Covers no-pf, L1-pf, temporal L2 (both trainers), and telemetry-on.
+MATRIX = [
+    ("gap.pr", None, (), False),
+    ("gap.pr", "stride", (), False),
+    ("06.omnetpp", "stride", ("streamline",), False),
+    ("06.mcf", "stride", ("triangel",), False),
+    ("17.xalancbmk", None, ("streamline",), False),
+    ("gap.pr", None, (), True),
+    ("06.omnetpp", "stride", ("streamline",), True),
+]
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def _floors():
+    return (1.5, 1.1) if _quick() else (2.2, 1.35)
+
+
+def _n() -> int:
+    n = int(os.environ.get("REPRO_N", "") or 60_000)
+    return min(n, 20_000) if _quick() else n
+
+
+def _execute(workload, l1, l2s, telem, fast, n):
+    """One direct engine run; returns (result, counters, seconds)."""
+    from repro.experiments.common import experiment_config
+    from repro.runner.specs import spec
+    from repro.runner.traces import get_trace
+    from repro.sim.engine import Engine
+    from repro.telemetry.config import TelemetryConfig
+
+    cfg = dataclasses.replace(
+        experiment_config(),
+        telemetry=TelemetryConfig(interval=500) if telem else None,
+        fastpath=fast)
+    trace = get_trace(workload, n, 42)
+    t0 = time.perf_counter()
+    eng = Engine([trace], cfg, spec(l1).build if l1 else None,
+                 [spec(s).build for s in l2s])
+    result = eng.run().collect()[0]
+    secs = time.perf_counter() - t0
+    return result, eng.bus.counts_flat(), secs
+
+
+def _label(workload, l1, l2s, telem):
+    parts = [workload, f"l1={l1 or '-'}", f"l2={'+'.join(l2s) or '-'}"]
+    if telem:
+        parts.append("telem")
+    return " ".join(parts)
+
+
+def _measure(n):
+    """Run the matrix scalar-vs-fast; returns (rows, speedups)."""
+    rows = []
+    for workload, l1, l2s, telem in MATRIX:
+        res_s, cnt_s, secs_s = _execute(workload, l1, l2s, telem,
+                                        False, n)
+        res_f, cnt_f, secs_f = _execute(workload, l1, l2s, telem,
+                                        True, n)
+        assert res_f == res_s, \
+            f"fast path diverged on {_label(workload, l1, l2s, telem)}"
+        assert cnt_f == cnt_s, \
+            f"event counters diverged on " \
+            f"{_label(workload, l1, l2s, telem)}"
+        rows.append({"config": _label(workload, l1, l2s, telem),
+                     "scalar_secs": round(secs_s, 3),
+                     "fast_secs": round(secs_f, 3),
+                     "speedup": round(secs_s / secs_f, 2)
+                     if secs_f else 0.0})
+    return rows
+
+
+def _check(rows):
+    best_floor, total_floor = _floors()
+    best = max(r["speedup"] for r in rows)
+    total = (sum(r["scalar_secs"] for r in rows)
+             / max(sum(r["fast_secs"] for r in rows), 1e-9))
+    assert best >= best_floor, \
+        f"best fast-path speedup {best:.2f}x below the " \
+        f"{best_floor}x floor"
+    assert total >= total_floor, \
+        f"total-wall fast-path speedup {total:.2f}x below the " \
+        f"{total_floor}x floor"
+    return best, total
+
+
+def _lines(rows, best, total, n):
+    width = max(len(r["config"]) for r in rows)
+    lines = [f"== engine fast path == (n={n}, {len(rows)} configs, "
+             "all bit-identical)"]
+    for r in rows:
+        lines.append(f"  {r['config']:<{width}}  "
+                     f"scalar {r['scalar_secs']:7.3f}s  "
+                     f"fast {r['fast_secs']:7.3f}s  "
+                     f"x{r['speedup']:.2f}")
+    best_floor, total_floor = _floors()
+    lines.append(f"  best x{best:.2f} (floor {best_floor}x), "
+                 f"total x{total:.2f} (floor {total_floor}x)")
+    return lines
+
+
+def _persist(rows, best, total, n):
+    from _harness import RESULTS_DIR, SUMMARY, _atomic_write_json
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "exp_id": "fastpath",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": n,
+        "configs": rows,
+        "best_speedup": round(best, 2),
+        "total_speedup": round(total, 2),
+        "bit_identical": True,
+    }
+    _atomic_write_json(RESULTS_DIR / "fastpath.json", record)
+    summary_path = RESULTS_DIR / SUMMARY
+    summary = {"schema": 1, "benches": {}}
+    if summary_path.is_file():
+        try:
+            loaded = json.loads(summary_path.read_text(encoding="utf-8"))
+            if isinstance(loaded.get("benches"), dict):
+                summary["benches"] = loaded["benches"]
+                summary["schema"] = loaded.get("schema", 1)
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt summary: rebuild from this run onward
+    summary["updated"] = record["timestamp"]
+    summary["benches"]["fastpath"] = {
+        "timestamp": record["timestamp"],
+        "best_speedup": record["best_speedup"],
+        "total_speedup": record["total_speedup"],
+        "wall_seconds": round(sum(r["fast_secs"] for r in rows), 3),
+    }
+    _atomic_write_json(summary_path, summary)
+
+
+def test_fastpath_speedup(benchmark):
+    n = _n()
+    rows = benchmark.pedantic(lambda: _measure(n), rounds=1,
+                              iterations=1)
+    best, total = _check(rows)
+    print()
+    print("\n".join(_lines(rows, best, total, n)))
+    benchmark.extra_info["best_speedup"] = best
+    benchmark.extra_info["total_speedup"] = total
+    _persist(rows, best, total, n)
+
+
+def main() -> None:
+    n = _n()
+    rows = _measure(n)
+    best, total = _check(rows)
+    text = "\n".join(_lines(rows, best, total, n)) + "\n"
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "fastpath.txt").write_text(text)
+    _persist(rows, best, total, n)
+
+
+if __name__ == "__main__":
+    main()

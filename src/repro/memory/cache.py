@@ -117,7 +117,17 @@ class Cache:
         self.lines: List[List[Line]] = [
             [Line() for _ in range(ways)] for _ in range(num_sets)]
         self._data_ways: List[int] = [ways] * num_sets
+        #: Per-set count of invalid ways inside the data partition.
+        #: Kept exact by every mutation so ``fill`` can skip the
+        #: invalid-way scan once a set is full (the steady state) and
+        #: the engine fast path gets O(1) install decisions.
+        self.free_ways: List[int] = [ways] * num_sets
         self.stats = CacheStats()
+        #: blk -> way for every valid line (a block lives in exactly one
+        #: way of its set, so the mapping is total).  Maintained by every
+        #: tag mutation; the engine fast path resolves residency through
+        #: it in O(1) instead of scanning ways.
+        self.tag_index: Dict[int, int] = {}
 
     # -- geometry ---------------------------------------------------------
 
@@ -139,8 +149,11 @@ class Cache:
             for w in range(ways, old):
                 line = self.lines[set_idx][w]
                 if line.valid:
+                    self.tag_index.pop(line.blk, None)
                     line.reset()
                     dropped += 1
+        self.free_ways[set_idx] = sum(
+            1 for line in self.lines[set_idx][:ways] if not line.valid)
         self.stats.partition_invalidations += dropped
         return dropped
 
@@ -194,22 +207,22 @@ class Cache:
         if nd == 0:
             return None  # set fully ceded to metadata; bypass
         row = self.lines[set_idx]
-        way = None
-        for w in range(nd):
-            line = row[w]
-            if line.valid and line.blk == blk:  # refill/upgrade in place
-                way = w
-                break
+        # Refill/upgrade in place?  The index is authoritative: a valid
+        # line's way is always < nd (partition shrinks drop the index
+        # entry along with the line).
+        way = self.tag_index.get(blk)
         evicted = None
-        if way is None:
+        if way is None and self.free_ways[set_idx]:
             for w in range(nd):
                 if not row[w].valid:
                     way = w
+                    self.free_ways[set_idx] -= 1
                     break
         if way is None:
             way = self.policy.victim(set_idx, range(nd))
             victim_line = row[way]
             if victim_line.valid:
+                self.tag_index.pop(victim_line.blk, None)
                 evicted = Line()
                 evicted.blk = victim_line.blk
                 evicted.valid = True
@@ -222,6 +235,7 @@ class Cache:
                 if victim_line.dirty:
                     self.stats.writebacks += 1
         line = row[way]
+        self.tag_index[blk] = way
         line.blk = blk
         line.valid = True
         line.dirty = dirty
@@ -238,9 +252,12 @@ class Cache:
     def invalidate(self, blk: int) -> bool:
         """Drop a block if present (used by multi-core coherence shootdowns)."""
         set_idx = self.set_of(blk)
-        for line in self.lines[set_idx]:
+        for way, line in enumerate(self.lines[set_idx]):
             if line.valid and line.blk == blk:
+                self.tag_index.pop(blk, None)
                 line.reset()
+                if way < self._data_ways[set_idx]:
+                    self.free_ways[set_idx] += 1
                 return True
         return False
 
@@ -306,6 +323,12 @@ class Cache:
                 line.prefetched = bool(flags[2, i])
                 line.pf_touched = bool(flags[3, i])
         self._data_ways = [int(w) for w in state["data_ways"]]
+        self.free_ways = [
+            sum(1 for line in row[:nd] if not line.valid)
+            for row, nd in zip(self.lines, self._data_ways)]
+        self.tag_index = {line.blk: way
+                          for row in self.lines
+                          for way, line in enumerate(row) if line.valid}
         self.stats = CacheStats(
             **{k: int(v) for k, v in state["stats"].items()})
         self.policy.load_state(state["policy"])

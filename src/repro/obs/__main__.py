@@ -6,6 +6,7 @@
     python -m repro.obs report [run_id]      # markdown report (default:
                                              #   latest run)
     python -m repro.obs top [run_id]         # hottest components only
+    python -m repro.obs report --compare A B # side-by-side run diff
 
 ``run_id`` may be any unique prefix of a run directory name under
 ``benchmarks/.obs`` (or ``REPRO_OBS_DIR``).
@@ -60,6 +61,15 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.compare:
+        dir_a = _resolve_run(args.compare[0])
+        dir_b = _resolve_run(args.compare[1])
+        if dir_a is None or dir_b is None:
+            return 1
+        print(report.render_compare(report.summarize(dir_a),
+                                    report.summarize(dir_b),
+                                    top=args.top))
+        return 0
     run_dir = _resolve_run(args.run_id)
     if run_dir is None:
         return 1
@@ -89,6 +99,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="run id prefix (default: latest run)")
     p_rep.add_argument("--top", type=int, default=10,
                        help="rows in the slowest-jobs table")
+    p_rep.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                       default=None,
+                       help="diff two runs (id prefixes) side by side: "
+                            "wall, matched jobs, components, phases")
     p_rep.set_defaults(fn=cmd_report)
 
     p_top = sub.add_parser("top", help="hottest components for one run")

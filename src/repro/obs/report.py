@@ -215,6 +215,91 @@ def render(summary: RunSummary, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def _delta(a: float, b: float) -> List[str]:
+    """[Δ, ratio] cells for a pair of seconds values."""
+    ratio = f"x{b / a:.2f}" if a > 0 else "-"
+    return [f"{b - a:+.3f}s", ratio]
+
+
+def render_compare(a: RunSummary, b: RunSummary, top: int = 10) -> str:
+    """Side-by-side diff of two runs: overview, per-job wall times
+    (matched by fingerprint), and the component/phase breakdowns.
+
+    The canonical use is perf work: run a sweep twice (say fast path
+    off and on, or before and after an engine change), then diff where
+    the time went.  ``b`` is read as "after": deltas and ratios are
+    ``b`` relative to ``a``.
+    """
+    lines = [f"# obs compare — {a.run_id} (A) vs {b.run_id} (B)", ""]
+
+    lines.append("## Run")
+    lines.append("")
+    lines.extend(_table(
+        ["", "A", "B", "Δ", "ratio"],
+        [["jobs", str(a.total), str(b.total), "-", "-"],
+         ["executed", str(a.executed), str(b.executed), "-", "-"],
+         ["wall", _secs(a.wall_seconds), _secs(b.wall_seconds)]
+         + _delta(a.wall_seconds, b.wall_seconds)]))
+    lines.append("")
+
+    # Jobs present in both runs, by |wall delta|.
+    jobs_a = {j.fingerprint: j for j in a.jobs}
+    jobs_b = {j.fingerprint: j for j in b.jobs}
+    common = sorted(
+        (fp for fp in jobs_a if fp in jobs_b),
+        key=lambda fp: -abs(jobs_b[fp].wall_seconds
+                            - jobs_a[fp].wall_seconds))
+    if common:
+        lines.append(f"## Matched jobs (top {top} by |Δwall|, "
+                     f"{len(common)} matched)")
+        lines.append("")
+        rows = []
+        for fp in common[:top]:
+            ja, jb = jobs_a[fp], jobs_b[fp]
+            rows.append([ja.label, _secs(ja.wall_seconds),
+                         _secs(jb.wall_seconds)]
+                        + _delta(ja.wall_seconds, jb.wall_seconds))
+        lines.extend(_table(["job", "A", "B", "Δ", "ratio"], rows))
+        lines.append("")
+
+    ca, cb = a.components(), b.components()
+    if ca or cb:
+        names = sorted(set(ca) | set(cb),
+                       key=lambda n: -max(
+                           ca.get(n, {}).get("seconds", 0.0),
+                           cb.get(n, {}).get("seconds", 0.0)))
+        lines.append("## Components")
+        lines.append("")
+        rows = []
+        for name in names:
+            sa = ca.get(name, {}).get("seconds", 0.0)
+            sb = cb.get(name, {}).get("seconds", 0.0)
+            rows.append([name, _secs(sa), _secs(sb)] + _delta(sa, sb))
+        lines.extend(_table(["component", "A", "B", "Δ", "ratio"], rows))
+        lines.append("")
+
+    pa, pb = a.phases(), b.phases()
+    if pa or pb:
+        names = sorted(set(pa) | set(pb),
+                       key=lambda n: -max(pa.get(n, 0.0),
+                                          pb.get(n, 0.0)))
+        lines.append("## Phases")
+        lines.append("")
+        rows = []
+        for name in names:
+            sa, sb = pa.get(name, 0.0), pb.get(name, 0.0)
+            rows.append([name, _secs(sa), _secs(sb)] + _delta(sa, sb))
+        lines.extend(_table(["phase", "A", "B", "Δ", "ratio"], rows))
+        lines.append("")
+
+    if not (ca or cb or pa or pb):
+        lines.append("_Neither run carries span profiles "
+                     "(set `REPRO_PROFILE=1` to collect them)._")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
 def render_top(summary: RunSummary, top: int = 10) -> str:
     """The compact ``top`` view: hottest components only."""
     profiled = summary.profiled_jobs

@@ -118,15 +118,22 @@ class SimJob:
         """JSON-friendly, key-sorted description of the job.
 
         ``resume`` is deliberately absent: resumed and straight runs are
-        bit-identical, so they must share one cache entry.
+        bit-identical, so they must share one cache entry.  For the same
+        reason ``config.fastpath`` is dropped: it is a pure execution
+        strategy (repro.sim.fastpath) whose results are bit-identical to
+        the scalar path, so fast and scalar runs share cache entries and
+        the canonical form is unchanged from before the field existed
+        (no schema bump needed).
         """
+        config = dataclasses.asdict(self.config)
+        config.pop("fastpath", None)
         return {
             "schema": SCHEMA_VERSION,
             "kind": self.kind,
             "workloads": list(self.workloads),
             "n": self.n,
             "seed": self.seed,
-            "config": dataclasses.asdict(self.config),
+            "config": config,
             "l1": self.l1.canonical() if self.l1 else None,
             "l2": [s.canonical() for s in self.l2],
             "probes": list(self.probes),
@@ -151,6 +158,7 @@ class SimJob:
         """
         config = dataclasses.asdict(self.config)
         config["telemetry"] = None
+        config.pop("fastpath", None)   # execution strategy, like resume
         return {
             "schema": SCHEMA_VERSION,
             "ckpt_format": CKPT_FORMAT_VERSION,

@@ -62,6 +62,13 @@ class SystemConfig:
     # own cache entries.  See repro.telemetry.
     telemetry: Optional[TelemetryConfig] = None
 
+    # Engine fast path (see repro.sim.fastpath).  Pure execution
+    # strategy: results are bit-identical either way, so - like
+    # SimJob.resume - it is excluded from job fingerprints.  None defers
+    # to the REPRO_FASTPATH tri-state environment knob; True/False force
+    # it for this system regardless of the environment.
+    fastpath: Optional[bool] = None
+
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ValueError("num_cores must be >= 1")

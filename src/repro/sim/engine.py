@@ -34,6 +34,7 @@ from ..memory.hierarchy import CoreHierarchy, SharedUncore
 from ..obs import profile as obs_profile
 from ..prefetchers.base import Prefetcher
 from ..telemetry import TelemetryHarness
+from . import fastpath
 from .config import SystemConfig
 from .stats import PrefetchReport, SimResult
 from .trace import Trace
@@ -255,6 +256,15 @@ class Engine:
             self.telemetry = TelemetryHarness(
                 self.bus, config.telemetry, num_cores=num_cores,
                 owner_names=names, gauges=self._telemetry_gauges())
+        # Execution strategy (never semantics): when enabled, run() and
+        # run_warmup() delegate to a bit-identical batched loop.  The
+        # span profiler needs the scalar path's per-span hooks, so that
+        # combination is rejected loudly rather than silently degraded.
+        self._fastpath_on = fastpath.resolve(config)
+        if self._fastpath_on and self._prof is not None:
+            fastpath.report_profiler_conflict()
+            self._fastpath_on = False
+        self._fastloop: Optional[object] = None
 
     def _telemetry_gauges(self) -> Dict[str, Callable[[], float]]:
         """Pull-based gauges the interval sampler reads at snapshot time."""
@@ -358,6 +368,20 @@ class Engine:
         """True once every core has crossed its warm-up boundary."""
         return self._started and self._warmed == self.num_cores
 
+    def _fastloop_for_run(self):
+        """The fast loop to delegate stepping to, or None (scalar path).
+
+        Built lazily on first use so every subscription (prefetcher
+        trainers, duelers, telemetry) is already wired when the loop
+        freezes its dispatch plans.  ``False`` caches an unsupported
+        engine shape so build() runs at most once.
+        """
+        if not self._fastpath_on or self._mark_every:
+            return None
+        if self._fastloop is None:
+            self._fastloop = fastpath.FastLoop.build(self) or False
+        return self._fastloop or None
+
     def run_warmup(self) -> "Engine":
         """Drive every core exactly to the warm-up boundary, then stop.
 
@@ -370,6 +394,10 @@ class Engine:
             raise RuntimeError("Engine.run() already completed")
         self._start()
         if any(w == 0 for w in self._warmups):
+            return self
+        fl = self._fastloop_for_run()
+        if fl is not None:
+            fl.run(stop_at_warm=True)
             return self
         prof = self._prof
         if prof is not None:
@@ -397,6 +425,11 @@ class Engine:
         if self._ran:
             raise RuntimeError("Engine.run() may only be called once")
         self._start()
+        fl = self._fastloop_for_run()
+        if fl is not None:
+            fl.run(stop_at_warm=False)
+            self._ran = True
+            return self
         prof = self._prof
         if prof is not None:
             prof.start("measure")

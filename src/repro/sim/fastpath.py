@@ -1,0 +1,1170 @@
+"""Tiered fast path for the single-core demand hot loop.
+
+The default engine pays, per trace record: a heap pop/push, a
+``MemoryRequest`` + per-level ``LevelOutcome`` allocation, a
+``Cache.lookup`` way scan with an ``AccessResult`` allocation per level,
+a ``Line`` copy per eviction, and one ``EventBus.publish`` (event
+allocation included) per observation point — even for the
+overwhelmingly common pure L1D read hit.  This module removes that
+overhead without changing a single observable number: a
+:class:`FastLoop` executes the identical simulation, record for record,
+and every counter, cache line, policy stamp, prefetcher table, and
+floating-point clock it produces is **bit-identical** to the scalar
+path.  ``SystemConfig.fastpath`` / ``REPRO_FASTPATH`` gate it
+(off by default); ``tests/test_fastpath.py`` and
+``benchmarks/bench_fastpath.py`` assert the equivalence.
+
+**Tier A — compiled scalar pipeline** (any single-core engine with LRU
+private caches):
+
+* no scheduling heap: at N=1 the heap degenerates to "step core 0";
+* no request/outcome/result objects: the private-level and uncore
+  pipelines of ``memory.hierarchy`` — including ``Cache.lookup`` /
+  ``Cache.fill`` and the LRU/SRRIP policy hooks — are compiled into
+  allocation-free closures over the caches' own ``tag_index`` /
+  ``lines`` / policy state, so all cache-layer state evolves exactly as
+  the real implementation evolves it, without a single temporary;
+* an L1D pure-read-hit lane: residency resolved through
+  ``Cache.tag_index``, the LRU touch inlined;
+* plan-dispatched events: per event kind the loop precomputes one of
+  - *counter-only* (no subscribers: bump the ``(kind, level, origin)``
+    counter, exactly what ``publish`` would have done).  Bumps are
+    deferred into flat per-site slots and flushed into ``bus.counts``
+    at warm-up boundaries and run end; a slot's key is reserved in the
+    dict on its first increment, so insertion order — observable via
+    ``EventBus.state_dict`` — matches the scalar path's first-publish
+    order even when real publishes (metadata traffic) interleave,
+  - *inline replica* (the subscriber list is exactly the closures this
+    module can prove it replicates: prefetcher trainers registered in
+    ``CoreHierarchy.trainer_subs`` and the uncore's prefetch
+    bookkeeping handlers), or
+  - *generic delivery* (anything else — telemetry samplers, duelers:
+    deliver a preallocated, reused ``HierarchyEvent`` to the live
+    subscriber list, legal because ``EventBus.subscribe`` requires
+    non-retention; a small pool keeps nested publications re-entrant).
+
+**Tier B — vectorized run execution** (engaged per-span when
+``lookup-hit`` has *zero* subscribers): screen an upcoming window
+against an L1D tag-residency snapshot for a maximal run of guaranteed
+pure read hits on ready, non-prefetched lines, then execute the whole
+run with numpy prefix ops — cumsum clocks (sequential left-fold, so
+bitwise equal to repeated ``+=``), scatter LRU stamps, bulk
+counter/stat increments, and exact reconstruction of the MLP window.
+A run ends at the first write, miss, dependent load, prefetched-line
+touch, or warm-up boundary; configurations with live ``lookup-hit``
+subscribers (telemetry, L1 prefetchers) structurally never enter
+Tier B.
+
+Fallback triggers (whole engine drops to the scalar path): multicore,
+record streams (``multicore._biased``), non-LRU private caches, a
+progress-mark hook (``REPRO_CKPT_MARK``), or the span profiler
+(``REPRO_PROFILE=1`` — rejected loudly, see :func:`resolve`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..envknobs import env_tristate
+from ..memory.events import EV, HierarchyEvent
+from ..memory.replacement import LRUPolicy, SRRIPPolicy
+from ..memory.request import DEMAND, PREFETCH, WRITEBACK
+from ..prefetchers.base import TRAIN_SCOPE_ALL_L2
+
+#: Records per scalar slab (one ``tolist`` burst each).
+CHUNK = 1 << 14
+#: Tier B: how far ahead one screen looks.
+SCREEN_WINDOW = 1 << 12
+#: Tier B: minimum profitable run (screens cost a residency snapshot).
+MIN_RUN = 64
+#: Tier B: consecutive lane hits before a screen is attempted.
+STREAK_TRIGGER = 32
+
+ENV_KNOB = "REPRO_FASTPATH"
+
+# Event-dispatch modes.
+_COUNT_ONLY = 0
+_INLINE = 1
+_GENERIC = 2
+
+#: Deferred counter slots: every (kind, level, origin) key the compiled
+#: pipeline can emit, one flat index each.  ``flush`` folds the slots
+#: into ``bus.counts``; first increments reserve the key so dict
+#: insertion order matches scalar first-publish order.
+_KEYS: List[Tuple[str, str, str]] = [
+    (EV.LOOKUP_HIT, "l1d", DEMAND), (EV.LOOKUP_MISS, "l1d", DEMAND),
+    (EV.LOOKUP_HIT, "l2", DEMAND), (EV.LOOKUP_MISS, "l2", DEMAND),
+    (EV.DEMAND_COMPLETE, "l2", DEMAND),
+    (EV.ACCESS, "llc", DEMAND), (EV.LOOKUP_HIT, "llc", DEMAND),
+    (EV.LOOKUP_MISS, "llc", DEMAND), (EV.FILL, "llc", DEMAND),
+    (EV.EVICTION, "llc", DEMAND),
+    (EV.ACCESS, "llc", PREFETCH), (EV.LOOKUP_HIT, "llc", PREFETCH),
+    (EV.LOOKUP_MISS, "llc", PREFETCH), (EV.FILL, "llc", PREFETCH),
+    (EV.EVICTION, "llc", PREFETCH),
+    (EV.FILL, "llc", WRITEBACK), (EV.EVICTION, "llc", WRITEBACK),
+    (EV.FILL, "l1d", DEMAND), (EV.EVICTION, "l1d", DEMAND),
+    (EV.FILL, "l1d", PREFETCH), (EV.EVICTION, "l1d", PREFETCH),
+    (EV.PREFETCH_USELESS, "l1d", DEMAND),
+    (EV.PREFETCH_USEFUL, "l1d", DEMAND),
+    (EV.FILL, "l2", DEMAND), (EV.EVICTION, "l2", DEMAND),
+    (EV.FILL, "l2", PREFETCH), (EV.EVICTION, "l2", PREFETCH),
+    (EV.FILL, "l2", WRITEBACK), (EV.EVICTION, "l2", WRITEBACK),
+    (EV.PREFETCH_USELESS, "l2", DEMAND),
+    (EV.PREFETCH_USEFUL, "l2", DEMAND),
+    (EV.PREFETCH_ISSUED, "l1d", PREFETCH),
+    (EV.PREFETCH_ISSUED, "l2", PREFETCH),
+    (EV.PREFETCH_DROPPED, "l1d", PREFETCH),
+    (EV.PREFETCH_DROPPED, "l2", PREFETCH),
+]
+
+(S_L1_HIT, S_L1_MISS, S_L2_HIT, S_L2_MISS, S_DC,
+ S_LLC_ACC_D, S_LLC_HIT_D, S_LLC_MISS_D, S_LLC_FILL_D, S_LLC_EV_D,
+ S_LLC_ACC_P, S_LLC_HIT_P, S_LLC_MISS_P, S_LLC_FILL_P, S_LLC_EV_P,
+ S_LLC_FILL_WB, S_LLC_EV_WB,
+ S_L1_FILL_D, S_L1_EV_D, S_L1_FILL_P, S_L1_EV_P,
+ S_L1_USELESS, S_L1_USEFUL,
+ S_L2_FILL_D, S_L2_EV_D, S_L2_FILL_P, S_L2_EV_P,
+ S_L2_FILL_WB, S_L2_EV_WB, S_L2_USELESS, S_L2_USEFUL,
+ S_PF_ISS_L1, S_PF_ISS_L2, S_PF_DROP_L1, S_PF_DROP_L2) = range(len(_KEYS))
+
+
+def resolve(config) -> bool:
+    """Is the fast path requested for this config/environment?
+
+    ``SystemConfig.fastpath`` wins when set; ``None`` defers to the
+    ``REPRO_FASTPATH`` tri-state knob (default off).  Malformed values
+    raise ``ValueError`` naming the variable.
+    """
+    if config.fastpath is not None:
+        return bool(config.fastpath)
+    env = env_tristate(ENV_KNOB)
+    return bool(env) if env is not None else False
+
+
+def report_profiler_conflict() -> None:
+    """The fast path and the span profiler are mutually exclusive: the
+    fast loop has no per-span instrumentation, so running it under
+    ``REPRO_PROFILE=1`` would silently produce an empty profile.  The
+    engine keeps the profiler and drops the fast path — loudly: a
+    warning plus a runlog record, never a silent degradation."""
+    import warnings
+
+    from ..obs import runlog
+
+    warnings.warn(
+        "fastpath requested (SystemConfig.fastpath/REPRO_FASTPATH) "
+        "together with the span profiler (REPRO_PROFILE=1); the fast "
+        "path skips profiled spans, so it is disabled for this engine",
+        RuntimeWarning, stacklevel=3)
+    writer = runlog.current()
+    if writer is not None:
+        writer.emit("fastpath_disabled", reason="profiler",
+                    detail="REPRO_PROFILE=1 takes precedence; "
+                           "scalar path used")
+
+
+class FastLoop:
+    """Executes one single-core engine's record stream, bit-identically.
+
+    Built against a fully wired engine (every subscription in place);
+    :meth:`build` returns ``None`` when the engine shape is unsupported
+    and the caller falls back to the scalar loop.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.hier = engine.cores[0]
+        self.uncore = engine.uncore
+        self.bus = engine.bus
+        self.l1 = self.hier.l1d
+        self.l2 = self.hier.l2
+        self.llc = self.uncore.llc
+        self.dram = self.uncore.dram
+        # Reused-event pool for generic delivery; grown on demand so
+        # nested publications (trainer -> prefetch issue -> fill events)
+        # never overwrite an event still being delivered.
+        self._pool: List[HierarchyEvent] = []
+        self._depth = 0
+        self._l1_lru: LRUPolicy = self.l1.policy
+        self._hit_lat = self.l1.latency + 0.0  # == AccessResult latency
+        self._build_plans()
+        self._build_ops()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, engine) -> Optional["FastLoop"]:
+        """A FastLoop for ``engine``, or None if its shape needs the
+        scalar loop (multicore interleaving, externally supplied record
+        streams, or non-LRU private caches)."""
+        if engine.num_cores != 1:
+            return None
+        if engine._streams is not None:
+            return None
+        hier = engine.cores[0]
+        if not isinstance(hier.l1d.policy, LRUPolicy):
+            return None
+        if not isinstance(hier.l2.policy, LRUPolicy):
+            return None
+        return cls(engine)
+
+    def _build_plans(self) -> None:
+        """Freeze the per-kind dispatch plans.
+
+        Subscriptions are static for the whole run (observers attach at
+        engine build and detach in ``collect()``), so the plan can be
+        computed once.  Unknown subscribers are never dropped — they
+        demote the kind to generic delivery, which calls the live
+        subscriber list in order, exactly like ``publish``.
+        """
+        subs = self.bus._subs
+        l1_trainers = {}   # kind -> [(closure, pf)]
+        l2_trainers = []   # [(closure, pf)]
+        for kind, fn, pf in self.hier.trainer_subs:
+            if kind == EV.DEMAND_COMPLETE:
+                l2_trainers.append((fn, pf))
+            else:
+                l1_trainers.setdefault(kind, []).append((fn, pf))
+
+        def lookup_plan(kind):
+            live = subs.get(kind, [])
+            if not live:
+                return _COUNT_ONLY, None
+            expected = [fn for fn, _pf in l1_trainers.get(kind, [])]
+            if expected and live == expected:
+                return _INLINE, [pf for _fn, pf in l1_trainers[kind]]
+            return _GENERIC, None
+
+        self._m_hit, self._l1_pfs_hit = lookup_plan(EV.LOOKUP_HIT)
+        self._m_miss, self._l1_pfs_miss = lookup_plan(EV.LOOKUP_MISS)
+
+        live_dc = subs.get(EV.DEMAND_COMPLETE, [])
+        expected_dc = [fn for fn, _pf in l2_trainers]
+        if not live_dc:
+            self._m_dc, self._l2_train = _COUNT_ONLY, None
+        elif expected_dc and live_dc == expected_dc:
+            self._m_dc = _INLINE
+            self._l2_train = [
+                (pf, pf.train_scope == TRAIN_SCOPE_ALL_L2)
+                for _fn, pf in l2_trainers]
+        else:
+            self._m_dc, self._l2_train = _GENERIC, None
+
+        uncore = self.uncore
+        pf_expected = {
+            EV.PREFETCH_ISSUED: uncore._on_pf_issued,
+            EV.PREFETCH_DROPPED: uncore._on_pf_dropped,
+            EV.PREFETCH_USEFUL: uncore._on_pf_useful,
+            EV.PREFETCH_USELESS: uncore._on_pf_useless,
+        }
+        self._m_pf = {}
+        for kind, handler in pf_expected.items():
+            live = subs.get(kind, [])
+            if live == [handler]:
+                self._m_pf[kind] = _INLINE
+            elif not live:
+                self._m_pf[kind] = _COUNT_ONLY
+            else:
+                self._m_pf[kind] = _GENERIC
+
+        def passive_plan(kind):
+            return _GENERIC if subs.get(kind) else _COUNT_ONLY
+
+        self._m_access = passive_plan(EV.ACCESS)
+        self._m_fill = passive_plan(EV.FILL)
+        self._m_evict = passive_plan(EV.EVICTION)
+
+        # Tier B needs lookup-hit to be observably silent (runs consist
+        # solely of those events).  Telemetry and L1 prefetchers
+        # subscribe to lookup-hit, so those configurations structurally
+        # stay scalar.
+        self._tierb = self._m_hit == _COUNT_ONLY
+
+    # -- generic event delivery --------------------------------------------
+
+    def _deliver(self, kind: str, level: str, blk: int, pc: int,
+                 origin: str, now: float, hit: bool = False,
+                 was_pf: bool = False, owner: int = -1,
+                 dirty: bool = False) -> None:
+        """Deliver through a reused event (non-retention contract on
+        ``EventBus.subscribe``); pool depth handles re-entrancy."""
+        depth = self._depth
+        pool = self._pool
+        if depth == len(pool):
+            pool.append(HierarchyEvent("", "", 0, 0, 0, DEMAND, 0.0,
+                                       False, False, -1, False))
+        ev = pool[depth]
+        ev.kind = kind
+        ev.level = level
+        ev.core_id = 0
+        ev.blk = blk
+        ev.pc = pc
+        ev.origin = origin
+        ev.now = now
+        ev.hit = hit
+        ev.was_prefetched = was_pf
+        ev.owner = owner
+        ev.dirty = dirty
+        subs = self.bus._subs.get(kind)
+        if not subs:
+            return
+        self._depth = depth + 1
+        try:
+            for fn in subs:
+                fn(ev)
+        finally:
+            self._depth = depth
+
+    # -- the compiled pipeline ---------------------------------------------
+
+    def _build_ops(self) -> None:
+        """Compile the demand/prefetch pipelines into closures.
+
+        Each closure mirrors one method chain of ``memory.hierarchy``
+        and ``memory.cache`` with every temporary erased: residency via
+        ``tag_index``, victims via the inlined LRU/SRRIP selection
+        rules (first-minimal stamp / first RRPV==3 with aging — the
+        policies' exact semantics), evicted lines as locals instead of
+        ``Line`` copies, and counters as deferred slots.  Mutable state
+        that outlives the loop (``tag_index``, ``lines``, ``_stamp``,
+        ``free_ways``, ``bus.counts``) is captured once — all of it is
+        mutated in place, never rebound, during a run; per-segment
+        state (``cache.stats``, rebound at the warm-up boundary) is
+        re-fetched per operation.
+        """
+        hier = self.hier
+        uncore = self.uncore
+        counts = self.bus.counts
+        deliver = self._deliver
+        prefetchers = uncore.prefetchers
+        keys = _KEYS
+        cnt = [0] * len(keys)
+        self._cnt = cnt
+
+        l1, l2, llc, dram = self.l1, self.l2, self.llc, self.dram
+        dram_access = dram.access
+        lat1, lat2, lat3 = l1.latency, l2.latency, llc.latency
+        port_occ = uncore.port_occupancy
+
+        m_hit, m_miss, m_dc = self._m_hit, self._m_miss, self._m_dc
+        m_access, m_fill, m_evict = (self._m_access, self._m_fill,
+                                     self._m_evict)
+        m_useful = self._m_pf[EV.PREFETCH_USEFUL]
+        m_useless = self._m_pf[EV.PREFETCH_USELESS]
+        m_issued = self._m_pf[EV.PREFETCH_ISSUED]
+        m_dropped = self._m_pf[EV.PREFETCH_DROPPED]
+        pfs_hit, pfs_miss = self._l1_pfs_hit, self._l1_pfs_miss
+        l2_train = self._l2_train
+
+        idx1, idx2 = l1.tag_index, l2.tag_index
+
+        def make_install(cache):
+            """Closure replicating ``Cache.fill`` sans ``Line`` copy;
+            the evicted line's fields land in ``cell``."""
+            idx = cache.tag_index
+            rows = cache.lines
+            mask = cache.num_sets - 1
+            dw = cache._data_ways
+            free = cache.free_ways
+            ways = cache.ways
+            pol = cache.policy
+            lru = pol if isinstance(pol, LRUPolicy) else None
+            srrip = isinstance(pol, SRRIPPolicy)
+            rrpv = pol._rrpv if srrip else None
+            stamp = lru._stamp if lru is not None else None
+            cell = [-1, 0, -1, False, False]  # blk, pc, owner, dirty, useless
+
+            def install(blk, ready, pc, prefetch, dirty, owner):
+                set_idx = blk & mask
+                nd = dw[set_idx]
+                if not nd:
+                    return False  # set ceded to metadata; bypass
+                st = cache.stats
+                row = rows[set_idx]
+                way = idx.get(blk)
+                evicted = False
+                if way is None:
+                    if free[set_idx]:
+                        for w in range(nd):
+                            if not row[w].valid:
+                                way = w
+                                free[set_idx] -= 1
+                                break
+                    if way is None:
+                        if stamp is not None:
+                            srow = stamp[set_idx]
+                            if nd == ways:
+                                way = srow.index(min(srow))
+                            else:
+                                sub = srow[:nd]
+                                way = sub.index(min(sub))
+                        elif srrip:
+                            vrow = rrpv[set_idx]
+                            while True:
+                                try:  # RRPVs live in 0..3; 3 == MAX
+                                    way = vrow.index(3, 0, nd)
+                                    break
+                                except ValueError:
+                                    for w in range(nd):
+                                        vrow[w] += 1
+                        else:
+                            way = pol.victim(set_idx, range(nd))
+                        line = row[way]
+                        if line.valid:
+                            idx.pop(line.blk, None)
+                            evicted = True
+                            cell[0] = line.blk
+                            cell[1] = line.pc
+                            cell[2] = line.owner
+                            cell[3] = line.dirty
+                            cell[4] = (line.prefetched
+                                       and not line.pf_touched)
+                            st.evictions += 1
+                            if line.dirty:
+                                st.writebacks += 1
+                line = row[way]
+                idx[blk] = way
+                line.blk = blk
+                line.valid = True
+                line.dirty = dirty
+                line.prefetched = prefetch
+                line.pf_touched = False
+                line.ready = ready
+                line.pc = pc
+                line.owner = owner
+                if prefetch:
+                    st.prefetch_fills += 1
+                if stamp is not None:
+                    c = lru._clock + 1
+                    lru._clock = c
+                    stamp[set_idx][way] = c
+                elif srrip:
+                    rrpv[set_idx][way] = 2  # MAX_RRPV - 1
+                else:
+                    pol.on_fill(set_idx, way, blk, pc)
+                return evicted
+
+            return install, cell
+
+        install1, cell1 = make_install(l1)
+        install2, cell2 = make_install(l2)
+        install3, cell3 = make_install(llc)
+
+        # L1/L2 lookup state (both LRU; build() guarantees it).
+        rows1, rows2, rows3 = l1.lines, l2.lines, llc.lines
+        mask1, mask2, mask3 = (l1.num_sets - 1, l2.num_sets - 1,
+                               llc.num_sets - 1)
+        pol1, pol2, pol3 = l1.policy, l2.policy, llc.policy
+        stamp1, stamp2 = pol1._stamp, pol2._stamp
+        llc_srrip = isinstance(pol3, SRRIPPolicy)
+        llc_lru = isinstance(pol3, LRUPolicy)
+        rrpv3 = pol3._rrpv if llc_srrip else None
+        stamp3 = pol3._stamp if llc_lru else None
+
+        def useless(level_l1, blk, now, owner):
+            s = S_L1_USELESS if level_l1 else S_L2_USELESS
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            if m_useless == 1:
+                pf = prefetchers.get(owner)
+                if pf is not None:
+                    pf.note_useless(blk, now)
+            elif m_useless == 2:
+                deliver(EV.PREFETCH_USELESS,
+                        "l1d" if level_l1 else "l2", blk, 0, DEMAND,
+                        now, owner=owner)
+
+        def useful(level_l1, blk, now, owner):
+            s = S_L1_USEFUL if level_l1 else S_L2_USEFUL
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            if m_useful == 1:
+                pf = prefetchers.get(owner)
+                if pf is not None:
+                    pf.note_useful(blk, now)
+            elif m_useful == 2:
+                deliver(EV.PREFETCH_USEFUL,
+                        "l1d" if level_l1 else "l2", blk, 0, DEMAND,
+                        now, owner=owner)
+
+        def uncore_access(blk, pc, now, demand):
+            """UncoreLevel._access: port + LLC (+ DRAM/fill on miss)."""
+            pfree = uncore._port_free
+            if pfree > now:
+                delay = pfree - now
+                uncore._port_free = pfree + port_occ
+            else:
+                delay = 0.0
+                uncore._port_free = now + port_occ
+            uncore.demand_llc_accesses += 1
+            origin = DEMAND if demand else PREFETCH
+            s = S_LLC_ACC_D if demand else S_LLC_ACC_P
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            if m_access:
+                deliver(EV.ACCESS, "llc", blk, pc, origin, now)
+            # Cache.lookup at the LLC, inline.
+            st = llc.stats
+            st.accesses += 1
+            tnow = now + delay
+            set_idx = blk & mask3
+            way = idx3.get(blk)
+            if way is not None:
+                st.hits += 1
+                if llc_srrip:
+                    rrpv3[set_idx][way] = 0
+                elif llc_lru:
+                    c = pol3._clock + 1
+                    pol3._clock = c
+                    stamp3[set_idx][way] = c
+                else:
+                    pol3.on_hit(set_idx, way)
+                line = rows3[set_idx][way]
+                r = line.ready
+                extra = r - tnow if r > tnow else 0.0
+                was_pf = line.prefetched and not line.pf_touched
+                if was_pf:
+                    line.pf_touched = True
+                    st.useful_prefetches += 1
+                    if extra > 0:
+                        st.late_prefetch_hits += 1
+                s = S_LLC_HIT_D if demand else S_LLC_HIT_P
+                c_ = cnt[s]
+                if not c_:
+                    counts.setdefault(keys[s], 0)
+                cnt[s] = c_ + 1
+                if m_hit == 2:
+                    deliver(EV.LOOKUP_HIT, "llc", blk, pc, origin, now,
+                            hit=True, was_pf=was_pf, owner=line.owner)
+                return delay + (lat3 + extra)
+            st.misses += 1
+            s = S_LLC_MISS_D if demand else S_LLC_MISS_P
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            if m_miss == 2:
+                deliver(EV.LOOKUP_MISS, "llc", blk, pc, origin, now,
+                        hit=False, owner=-1)
+            lat = delay + lat3
+            lat += dram_access(blk, now + lat, is_prefetch=not demand)
+            fill_at = now + lat
+            evicted = install3(blk, fill_at, pc, False, False, -1)
+            s = S_LLC_FILL_D if demand else S_LLC_FILL_P
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            if m_fill:
+                deliver(EV.FILL, "llc", blk, pc, origin, fill_at)
+            if evicted:
+                e_blk, e_pc, e_owner, e_dirty = (cell3[0], cell3[1],
+                                                 cell3[2], cell3[3])
+                s = S_LLC_EV_D if demand else S_LLC_EV_P
+                c_ = cnt[s]
+                if not c_:
+                    counts.setdefault(keys[s], 0)
+                cnt[s] = c_ + 1
+                if m_evict:
+                    deliver(EV.EVICTION, "llc", e_blk, e_pc, origin,
+                            fill_at, owner=e_owner, dirty=e_dirty)
+                if e_dirty:
+                    dram_access(e_blk, fill_at, is_write=True)
+            return lat
+
+        def uncore_wb(blk, pc, now):
+            """UncoreLevel.writeback: dirty L2 victim lands in the LLC."""
+            pfree = uncore._port_free
+            uncore._port_free = (pfree if pfree > now else now) + port_occ
+            evicted = install3(blk, now, pc, False, True, -1)
+            c_ = cnt[S_LLC_FILL_WB]
+            if not c_:
+                counts.setdefault(keys[S_LLC_FILL_WB], 0)
+            cnt[S_LLC_FILL_WB] = c_ + 1
+            if m_fill:
+                deliver(EV.FILL, "llc", blk, pc, WRITEBACK, now,
+                        dirty=True)
+            if evicted:
+                e_blk, e_pc, e_owner, e_dirty = (cell3[0], cell3[1],
+                                                 cell3[2], cell3[3])
+                c_ = cnt[S_LLC_EV_WB]
+                if not c_:
+                    counts.setdefault(keys[S_LLC_EV_WB], 0)
+                cnt[S_LLC_EV_WB] = c_ + 1
+                if m_evict:
+                    deliver(EV.EVICTION, "llc", e_blk, e_pc, WRITEBACK,
+                            now, owner=e_owner, dirty=e_dirty)
+                if e_dirty:
+                    dram_access(e_blk, now, is_write=True)
+
+        def l2_wb(blk, pc, now):
+            """CacheLevel.writeback at the L2: absorb a dirty L1D victim
+            (victim cascade intentionally unmodelled at private levels)."""
+            evicted = install2(blk, now, pc, False, True, -1)
+            c_ = cnt[S_L2_FILL_WB]
+            if not c_:
+                counts.setdefault(keys[S_L2_FILL_WB], 0)
+            cnt[S_L2_FILL_WB] = c_ + 1
+            if m_fill:
+                deliver(EV.FILL, "l2", blk, pc, WRITEBACK, now,
+                        dirty=True)
+            if evicted:
+                c_ = cnt[S_L2_EV_WB]
+                if not c_:
+                    counts.setdefault(keys[S_L2_EV_WB], 0)
+                cnt[S_L2_EV_WB] = c_ + 1
+                if m_evict:
+                    deliver(EV.EVICTION, "l2", cell2[0], cell2[1],
+                            WRITEBACK, now, owner=cell2[2],
+                            dirty=cell2[3])
+
+        def l2_fill(blk, ready, pc, prefetch, owner, s_fill, s_ev,
+                    origin):
+            """CacheLevel.fill at the L2 (demand or prefetch origin)."""
+            evicted = install2(blk, ready, pc, prefetch, False, owner)
+            c_ = cnt[s_fill]
+            if not c_:
+                counts.setdefault(keys[s_fill], 0)
+            cnt[s_fill] = c_ + 1
+            if m_fill:
+                deliver(EV.FILL, "l2", blk, pc, origin, ready,
+                        owner=owner)
+            if evicted:
+                e_blk, e_pc, e_owner, e_dirty, e_useless = cell2
+                c_ = cnt[s_ev]
+                if not c_:
+                    counts.setdefault(keys[s_ev], 0)
+                cnt[s_ev] = c_ + 1
+                if m_evict:
+                    deliver(EV.EVICTION, "l2", e_blk, e_pc, origin,
+                            ready, owner=e_owner, dirty=e_dirty)
+                if e_useless:
+                    useless(False, e_blk, ready, e_owner)
+                if e_dirty:
+                    uncore_wb(e_blk, e_pc, ready)
+
+        def l1_fill(blk, ready, pc, prefetch, owner, s_fill, s_ev,
+                    origin):
+            """CacheLevel.fill at the L1D (demand or prefetch origin)."""
+            evicted = install1(blk, ready, pc, prefetch, False, owner)
+            c_ = cnt[s_fill]
+            if not c_:
+                counts.setdefault(keys[s_fill], 0)
+            cnt[s_fill] = c_ + 1
+            if m_fill:
+                deliver(EV.FILL, "l1d", blk, pc, origin, ready,
+                        owner=owner)
+            if evicted:
+                e_blk, e_pc, e_owner, e_dirty, e_useless = cell1
+                c_ = cnt[s_ev]
+                if not c_:
+                    counts.setdefault(keys[s_ev], 0)
+                cnt[s_ev] = c_ + 1
+                if m_evict:
+                    deliver(EV.EVICTION, "l1d", e_blk, e_pc, origin,
+                            ready, owner=e_owner, dirty=e_dirty)
+                if e_useless:
+                    useless(True, e_blk, ready, e_owner)
+                if e_dirty:
+                    l2_wb(e_blk, e_pc, ready)
+
+        idx3 = llc.tag_index
+
+        def issue(blk, pc, now, owner, to_l1):
+            """CoreHierarchy.issue_prefetch with O(1) residency probes."""
+            if to_l1:
+                if blk in idx1:
+                    c_ = cnt[S_PF_DROP_L1]
+                    if not c_:
+                        counts.setdefault(keys[S_PF_DROP_L1], 0)
+                    cnt[S_PF_DROP_L1] = c_ + 1
+                    if m_dropped == 1:
+                        pf = prefetchers.get(owner)
+                        if pf is not None:
+                            pf.stats.dropped += 1
+                    elif m_dropped == 2:
+                        deliver(EV.PREFETCH_DROPPED, "l1d", blk, pc,
+                                PREFETCH, now, owner=owner)
+                    return
+                if blk in idx2:
+                    lat = lat2 + 0.0
+                else:
+                    lat = lat2 + uncore_access(blk, pc, now, False)
+                    l2_fill(blk, now + lat, pc, False, -1,
+                            S_L2_FILL_D, S_L2_EV_D, DEMAND)
+                l1_fill(blk, now + lat, pc, True, owner,
+                        S_L1_FILL_P, S_L1_EV_P, PREFETCH)
+                c_ = cnt[S_PF_ISS_L1]
+                if not c_:
+                    counts.setdefault(keys[S_PF_ISS_L1], 0)
+                cnt[S_PF_ISS_L1] = c_ + 1
+                if m_issued == 1:
+                    pf = prefetchers.get(owner)
+                    if pf is not None:
+                        pf.stats.issued += 1
+                elif m_issued == 2:
+                    deliver(EV.PREFETCH_ISSUED, "l1d", blk, pc,
+                            PREFETCH, now, owner=owner)
+            else:
+                if blk in idx2:
+                    c_ = cnt[S_PF_DROP_L2]
+                    if not c_:
+                        counts.setdefault(keys[S_PF_DROP_L2], 0)
+                    cnt[S_PF_DROP_L2] = c_ + 1
+                    if m_dropped == 1:
+                        pf = prefetchers.get(owner)
+                        if pf is not None:
+                            pf.stats.dropped += 1
+                    elif m_dropped == 2:
+                        deliver(EV.PREFETCH_DROPPED, "l2", blk, pc,
+                                PREFETCH, now, owner=owner)
+                    return
+                lat = uncore_access(blk, pc, now, False)
+                l2_fill(blk, now + lat, pc, True, owner,
+                        S_L2_FILL_P, S_L2_EV_P, PREFETCH)
+                c_ = cnt[S_PF_ISS_L2]
+                if not c_:
+                    counts.setdefault(keys[S_PF_ISS_L2], 0)
+                cnt[S_PF_ISS_L2] = c_ + 1
+                if m_issued == 1:
+                    pf = prefetchers.get(owner)
+                    if pf is not None:
+                        pf.stats.issued += 1
+                elif m_issued == 2:
+                    deliver(EV.PREFETCH_ISSUED, "l2", blk, pc,
+                            PREFETCH, now, owner=owner)
+
+        def demand_slow(pc, blk, is_write, now):
+            """CoreHierarchy.access minus the pure-read-hit lane: every
+            miss, write, timing-credit hit, and prefetched-line touch.
+            (``demand_accesses`` is bumped by the caller for both lanes.)"""
+            # Cache.lookup at the L1D, inline.
+            st = l1.stats
+            st.accesses += 1
+            set_idx = blk & mask1
+            way = idx1.get(blk)
+            if way is not None:
+                line = rows1[set_idx][way]
+                st.hits += 1
+                c = pol1._clock + 1
+                pol1._clock = c
+                stamp1[set_idx][way] = c
+                if is_write:
+                    line.dirty = True
+                r = line.ready
+                extra = r - now if r > now else 0.0
+                was_pf = line.prefetched and not line.pf_touched
+                if was_pf:
+                    line.pf_touched = True
+                    st.useful_prefetches += 1
+                    if extra > 0:
+                        st.late_prefetch_hits += 1
+                owner = line.owner
+                c_ = cnt[S_L1_HIT]
+                if not c_:
+                    counts.setdefault(keys[S_L1_HIT], 0)
+                cnt[S_L1_HIT] = c_ + 1
+                if m_hit == 1:
+                    for pf in pfs_hit:
+                        for cand in pf.train(pc, blk, True, was_pf,
+                                             now):
+                            issue(cand, pc, now, pf.owner_id, True)
+                elif m_hit == 2:
+                    deliver(EV.LOOKUP_HIT, "l1d", blk, pc, DEMAND,
+                            now, hit=True, was_pf=was_pf, owner=owner)
+                latency = 0.0 + (lat1 + extra)
+                if was_pf:
+                    useful(True, blk, now, owner)
+                return latency
+            st.misses += 1
+            c_ = cnt[S_L1_MISS]
+            if not c_:
+                counts.setdefault(keys[S_L1_MISS], 0)
+            cnt[S_L1_MISS] = c_ + 1
+            if m_miss == 1:
+                for pf in pfs_miss:
+                    for cand in pf.train(pc, blk, False, False, now):
+                        issue(cand, pc, now, pf.owner_id, True)
+            elif m_miss == 2:
+                deliver(EV.LOOKUP_MISS, "l1d", blk, pc, DEMAND, now,
+                        hit=False, owner=-1)
+            latency = 0.0 + lat1
+            # Descend: CacheLevel._access at the L2, lookup inline.
+            st2 = l2.stats
+            st2.accesses += 1
+            tn2 = now + latency
+            set2 = blk & mask2
+            way2 = idx2.get(blk)
+            if way2 is not None:
+                hit2 = True
+                line2 = rows2[set2][way2]
+                st2.hits += 1
+                c = pol2._clock + 1
+                pol2._clock = c
+                stamp2[set2][way2] = c
+                r = line2.ready
+                extra2 = r - tn2 if r > tn2 else 0.0
+                was_pf2 = line2.prefetched and not line2.pf_touched
+                if was_pf2:
+                    line2.pf_touched = True
+                    st2.useful_prefetches += 1
+                    if extra2 > 0:
+                        st2.late_prefetch_hits += 1
+                owner2 = line2.owner
+                s = S_L2_HIT
+            else:
+                hit2 = False
+                was_pf2 = False
+                owner2 = -1
+                st2.misses += 1
+                s = S_L2_MISS
+            c_ = cnt[s]
+            if not c_:
+                counts.setdefault(keys[s], 0)
+            cnt[s] = c_ + 1
+            mode = m_hit if hit2 else m_miss
+            # An inline plan means the only subscribers are L1 trainer
+            # closures, which filter ev.level != "l1d" — nothing to run.
+            if mode == 2:
+                deliver(EV.LOOKUP_HIT if hit2 else EV.LOOKUP_MISS,
+                        "l2", blk, pc, DEMAND, now, hit=hit2,
+                        was_pf=was_pf2, owner=owner2)
+            if hit2:
+                latency += lat2 + extra2
+                if was_pf2:
+                    useful(False, blk, now, owner2)
+            else:
+                latency += lat2
+                latency += uncore_access(blk, pc, now + latency, True)
+                l2_fill(blk, now + latency, pc, False, -1,
+                        S_L2_FILL_D, S_L2_EV_D, DEMAND)
+            l1_fill(blk, now + latency, pc, False, -1,
+                    S_L1_FILL_D, S_L1_EV_D, DEMAND)
+            if not hit2:
+                hier.uncovered_misses += 1
+            # demand-complete: fires for every access that reached the L2.
+            c_ = cnt[S_DC]
+            if not c_:
+                counts.setdefault(keys[S_DC], 0)
+            cnt[S_DC] = c_ + 1
+            if m_dc == 1:
+                for pf, all_l2 in l2_train:
+                    if all_l2 or not hit2 or was_pf2:
+                        for cand in pf.train(pc, blk, hit2, was_pf2,
+                                             now):
+                            issue(cand, pc, now, pf.owner_id, False)
+            elif m_dc == 2:
+                deliver(EV.DEMAND_COMPLETE, "l2", blk, pc, DEMAND,
+                        now, hit=hit2, was_pf=was_pf2, owner=owner2)
+            return latency
+
+        def flush():
+            """Fold the deferred slots into ``bus.counts``."""
+            for i, v in enumerate(cnt):
+                if v:
+                    k = keys[i]
+                    counts[k] = counts.get(k, 0) + v
+                    cnt[i] = 0
+
+        self._demand_slow = demand_slow
+        self._issue = issue
+        self._flush = flush
+
+    # -- Tier B -------------------------------------------------------------
+
+    def _screen_run(self, s: int, limit: int, c0: float, instrs0: int,
+                    outstanding) -> Tuple[int, Optional[tuple]]:
+        """Find the longest vectorizable run starting at record ``s``.
+
+        Returns ``(L, plan)`` where records ``s .. s+L-1`` are proven
+        pure L1D read hits on ready, non-prefetched lines whose timing
+        reduces to prefix sums: every MLP/ROB pop inside the run is a
+        clock no-op (pre-run completions all <= the clock after record
+        ``s``'s advance — the earliest possible in-run pop time, since
+        both pop rules fire post-advance and clocks only grow; in-run
+        entry ``j`` is MLP-popped at record ``j+mlp``, a no-op iff
+        ``clock[j+mlp] >= clock[j] + hit_lat``; ROB pops lag by
+        ``rob/width`` cycles >> hit_lat).  ``(0, None)`` if no
+        profitable run exists.
+        """
+        cols = self.engine.traces[0].columns()
+        # Same float op as the scalar advance, so the threshold is the
+        # exact post-advance clock of record s.
+        c1 = c0 + (float(cols.gaps[s]) + 1.0) / self.engine.models[0].width
+        for comp, _idx in outstanding:
+            if comp > c1:
+                return 0, None
+        w = min(limit - s, SCREEN_WINDOW)
+        blks = cols.blks[s:s + w]
+        # Residency snapshot: lines that are valid, ready by c0 (clocks
+        # only grow, so ready <= c0 implies ready <= every in-run now),
+        # and carry no pending prefetch credit.
+        l1 = self.l1
+        rows = l1.lines
+        mask = l1.num_sets - 1
+        ways = l1.ways
+        eb: List[int] = []
+        ef: List[int] = []
+        for blk, way in l1.tag_index.items():
+            line = rows[blk & mask][way]
+            if line.ready <= c0 and not (line.prefetched
+                                         and not line.pf_touched):
+                eb.append(blk)
+                ef.append(((blk & mask) * ways) + way)
+        if not eb:
+            return 0, None
+        eb_arr = np.asarray(eb, dtype=np.int64)
+        order = np.argsort(eb_arr)
+        eb_arr = eb_arr[order]
+        ef_arr = np.asarray(ef, dtype=np.int64)[order]
+        idx = np.searchsorted(eb_arr, blks)
+        idx_c = np.minimum(idx, len(eb_arr) - 1)
+        ok = ((eb_arr[idx_c] == blks)
+              & ~cols.writes[s:s + w] & ~cols.deps[s:s + w])
+        if bool(ok[0]) is False:
+            return 0, None
+        if ok.all():
+            run_len = w
+        else:
+            run_len = int(np.argmin(ok))
+        if run_len < MIN_RUN:
+            return 0, None
+        # Timing screen: sequential cumsum reproduces the scalar
+        # left-fold clock bit for bit.
+        gaps = cols.gaps[s:s + run_len].astype(np.float64)
+        terms = (gaps + 1.0) / self.engine.models[0].width
+        clocks = np.cumsum(np.concatenate(([c0], terms)))[1:]
+        mlp = self.engine.models[0].mlp
+        if run_len > mlp:
+            bad = clocks[mlp:] < clocks[:-mlp] + self._hit_lat
+            if bad.any():
+                run_len = mlp + int(np.argmax(bad))
+                if run_len < MIN_RUN:
+                    return 0, None
+                clocks = clocks[:run_len]
+        flat = ef_arr[idx_c[:run_len]]
+        return run_len, (clocks, flat)
+
+    def _execute_run(self, s: int, run_len: int, plan: tuple,
+                     instrs0: int, outstanding
+                     ) -> Tuple[float, int, float]:
+        """Apply one screened run; returns (clock, instrs, last_comp)."""
+        clocks, flat = plan
+        cols = self.engine.traces[0].columns()
+        inc = cols.gaps[s:s + run_len].astype(np.int64) + 1
+        instr_cum = instrs0 + np.cumsum(inc)
+        # Stats and counters, in bulk.
+        st = self.l1.stats
+        st.accesses += run_len
+        st.hits += run_len
+        self.hier.demand_accesses += run_len
+        cnt = self._cnt
+        c_ = cnt[S_L1_HIT]
+        if not c_:
+            self.bus.counts.setdefault(_KEYS[S_L1_HIT], 0)
+        cnt[S_L1_HIT] = c_ + run_len
+        # LRU: per touched way, the stamp of its *last* touch; the
+        # policy clock advances once per hit either way.
+        pol = self._l1_lru
+        ways = self.l1.ways
+        base = pol._clock
+        stamps = pol._stamp
+        rev_flat = flat[::-1]
+        uniq, first_rev = np.unique(rev_flat, return_index=True)
+        last_pos = run_len - 1 - first_rev
+        for f, p in zip(uniq.tolist(), last_pos.tolist()):
+            stamps[f // ways][f % ways] = base + p + 1
+        pol._clock = base + run_len
+        # MLP window: completions are clock + hit latency; the final
+        # deque is the entry suffix the scalar pop rules leave behind
+        # (every in-run pop was screened to be a clock no-op).
+        comps = clocks + self._hit_lat
+        new_instrs = int(instr_cum[-1])
+        entries = list(outstanding)
+        entries.extend(zip(comps.tolist(), instr_cum.tolist()))
+        total = len(entries)
+        mlp = self.engine.models[0].mlp
+        rob = self.engine.models[0].rob
+        start = total - mlp if total > mlp else 0
+        while start < total and new_instrs - entries[start][1] > rob:
+            start += 1
+        outstanding.clear()
+        for comp, idx in entries[start:]:
+            outstanding.append((float(comp), int(idx)))
+        return float(clocks[-1]), new_instrs, float(comps[-1])
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self, stop_at_warm: bool) -> None:
+        """Drive core 0 from its current position to the end of the
+        trace (or just past the warm-up boundary), then hand the engine
+        back in a state the scalar loop could seamlessly continue from.
+        """
+        eng = self.engine
+        trace = eng.traces[0]
+        cols = trace.columns()
+        pcs_a, blks_a = cols.pcs, cols.blks
+        writes_a, gaps_a, deps_a = cols.writes, cols.gaps, cols.deps
+        n = len(trace)
+        warm_at = eng._warmups[0]
+        pos = eng._counts[0]
+        end = min(warm_at, n) if stop_at_warm else n
+        model = eng.models[0]
+        clock = model.clock
+        instrs = model.instrs
+        outstanding = model._outstanding
+        last_comp = model._last_load_completion
+        width, rob, mlp = model.width, model.rob, model.mlp
+        hier = self.hier
+        counts = self.bus.counts
+        keys = _KEYS
+        cnt = self._cnt
+        l1 = self.l1
+        l1_idx = l1.tag_index
+        l1_rows = l1.lines
+        l1_mask = l1.num_sets - 1
+        pol = self._l1_lru
+        pol_stamp = pol._stamp
+        hit_lat = self._hit_lat
+        m_hit = self._m_hit
+        l1_pfs_hit = self._l1_pfs_hit
+        demand_slow = self._demand_slow
+        issue = self._issue
+        flush = self._flush
+        deliver = self._deliver
+        tierb = self._tierb
+        streak = 0
+
+        while pos < end:
+            seg_end = end
+            if warm_at > 0 and pos < warm_at \
+                    and eng._warm_marks[0] is None:
+                seg_end = min(seg_end, warm_at)
+            while pos < seg_end:
+                cend = min(pos + CHUNK, seg_end)
+                pcs_l = pcs_a[pos:cend].tolist()
+                blks_l = blks_a[pos:cend].tolist()
+                writes_l = writes_a[pos:cend].tolist()
+                gaps_l = gaps_a[pos:cend].tolist()
+                deps_l = deps_a[pos:cend].tolist()
+                m = cend - pos
+                i = 0
+                while i < m:
+                    if tierb and streak >= STREAK_TRIGGER:
+                        run_len, plan = self._screen_run(
+                            pos + i, seg_end, clock, instrs, outstanding)
+                        if run_len:
+                            clock, instrs, last_comp = self._execute_run(
+                                pos + i, run_len, plan, instrs,
+                                outstanding)
+                            i += run_len
+                            continue
+                        streak = 0
+                    gap = gaps_l[i]
+                    # CoreModel.advance
+                    instrs += gap + 1
+                    clock += (gap + 1) / width
+                    while outstanding:
+                        comp, idx = outstanding[0]
+                        if instrs - idx <= rob:
+                            break
+                        if comp > clock:
+                            clock = comp
+                        outstanding.popleft()
+                    # CoreModel.issue_time
+                    if deps_l[i]:
+                        now = clock if clock >= last_comp else last_comp
+                    else:
+                        now = clock
+                    pc = pcs_l[i]
+                    blk = blks_l[i]
+                    is_write = writes_l[i]
+                    hier.demand_accesses += 1
+                    # L1D pure-read-hit lane, falling back to the full
+                    # replica for anything with side effects.
+                    latency = -1.0
+                    if not is_write:
+                        way = l1_idx.get(blk)
+                        if way is not None:
+                            line = l1_rows[blk & l1_mask][way]
+                            if line.ready <= now and not (
+                                    line.prefetched
+                                    and not line.pf_touched):
+                                st = l1.stats
+                                st.accesses += 1
+                                st.hits += 1
+                                pclock = pol._clock + 1
+                                pol._clock = pclock
+                                pol_stamp[blk & l1_mask][way] = pclock
+                                c_ = cnt[S_L1_HIT]
+                                if not c_:
+                                    counts.setdefault(
+                                        keys[S_L1_HIT], 0)
+                                cnt[S_L1_HIT] = c_ + 1
+                                if m_hit == _INLINE:
+                                    for pf in l1_pfs_hit:
+                                        for cand in pf.train(
+                                                pc, blk, True, False,
+                                                now):
+                                            issue(cand, pc, now,
+                                                  pf.owner_id, True)
+                                elif m_hit == _GENERIC:
+                                    deliver(EV.LOOKUP_HIT, "l1d", blk,
+                                            pc, DEMAND, now, hit=True,
+                                            owner=line.owner)
+                                latency = hit_lat
+                                streak += 1
+                    if latency < 0.0:
+                        latency = demand_slow(pc, blk, is_write, now)
+                        streak = 0
+                    # CoreModel.complete_access
+                    if not is_write:
+                        if len(outstanding) >= mlp:
+                            comp, _ = outstanding.popleft()
+                            if comp > clock:
+                                clock = comp
+                        comp = now + latency
+                        last_comp = comp
+                        outstanding.append((comp, instrs))
+                    i += 1
+                pos += i
+            # Warm-up boundary: replicate Engine._step's reset block.
+            if pos == warm_at and warm_at > 0 \
+                    and eng._warm_marks[0] is None:
+                model.clock = clock
+                model.instrs = instrs
+                model._last_load_completion = last_comp
+                model.drain()
+                clock = model.clock
+                eng._warm_marks[0] = (model.clock, model.instrs)
+                flush()  # pre-warm counters, then the reset clears them
+                eng.cores[0].reset_stats()
+                eng._warmed += 1
+                self.uncore.reset_stats()
+                for pf in self.uncore.prefetchers.values():
+                    reset = getattr(pf, "reset_epoch_stats", None)
+                    if reset is not None:
+                        reset()
+                if eng.telemetry is not None:
+                    eng.telemetry.reset()
+                streak = 0
+
+        # Hand back a scalar-continuable engine: model state, consumed
+        # count, a repositioned record stream, flushed counters, and
+        # the heap invariant (entry == model clock; exhausted cores are
+        # simply left out).
+        flush()
+        model.clock = clock
+        model.instrs = instrs
+        model._last_load_completion = last_comp
+        eng._counts[0] = pos
+        eng._iters[0] = trace.iter_from(pos)
+        eng._heap = [(model.clock, 0)] if pos < n else []

@@ -13,9 +13,29 @@ for reuse across experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
+
+#: Records per chunk when iterating a trace.  Large enough that the
+#: per-chunk ``tolist()`` overhead vanishes, small enough that peak
+#: memory stays constant regardless of trace length.
+ITER_CHUNK = 1 << 16
+
+
+class TraceColumns(NamedTuple):
+    """Read-only columnar view of a trace (see :meth:`Trace.columns`).
+
+    ``blks`` is ``addrs >> 6`` (``memory.address.block_of``) vectorized
+    once per trace instead of once per record per run.
+    """
+
+    pcs: np.ndarray     # int64
+    blks: np.ndarray    # int64, addrs >> 6
+    writes: np.ndarray  # bool_
+    gaps: np.ndarray    # int32
+    deps: np.ndarray    # bool_
 
 
 @dataclass(frozen=True)
@@ -60,10 +80,44 @@ class Trace:
         return len(self.pcs)
 
     def __iter__(self) -> Iterator[Tuple[int, int, bool, int, bool]]:
-        """Yield (pc, addr, is_write, gap, dep) plain-Python tuples."""
-        return zip(self.pcs.tolist(), self.addrs.tolist(),
-                   self.writes.tolist(), self.gaps.tolist(),
-                   self.deps.tolist())
+        """Yield (pc, addr, is_write, gap, dep) plain-Python tuples.
+
+        Iteration is chunked: each chunk converts ``ITER_CHUNK`` records
+        to Python scalars, so peak memory is constant in trace length
+        (materializing five full ``tolist()`` lists up front costs ~20GB
+        for a 100M-access trace).
+        """
+        return self.iter_from(0)
+
+    def iter_from(self, start: int
+                  ) -> Iterator[Tuple[int, int, bool, int, bool]]:
+        """Like ``iter(trace)`` but starting at record ``start``.
+
+        The fast path uses this to reposition an engine's record stream
+        in O(1) after consuming a span columnarly, so scalar and batched
+        execution can interleave on one engine.
+        """
+        n = len(self.pcs)
+        for lo in range(start, n, ITER_CHUNK):
+            hi = min(n, lo + ITER_CHUNK)
+            yield from zip(self.pcs[lo:hi].tolist(),
+                           self.addrs[lo:hi].tolist(),
+                           self.writes[lo:hi].tolist(),
+                           self.gaps[lo:hi].tolist(),
+                           self.deps[lo:hi].tolist())
+
+    def columns(self) -> TraceColumns:
+        """Cached columnar view for batched consumers (sim.fastpath).
+
+        Treat the arrays as read-only; they alias the trace's own
+        storage except ``blks``, computed (and cached) on first use.
+        """
+        cols = getattr(self, "_columns", None)
+        if cols is None:
+            cols = TraceColumns(self.pcs, self.addrs >> 6, self.writes,
+                                self.gaps, self.deps)
+            self._columns = cols
+        return cols
 
     @property
     def instructions(self) -> int:

@@ -1,0 +1,292 @@
+"""Engine fast path: bit-identity with the scalar loop.
+
+The contract (DESIGN.md "Engine fast path"): with
+``SystemConfig.fastpath=True`` the engine must produce the **same
+bytes** as the scalar loop — ``SimResult`` including the bus event
+counters, warm-up checkpoints, telemetry series — for every supported
+configuration, and must stay off (scalar) by default.  These tests
+sweep workloads × prefetcher sets × telemetry × checkpoint resume, pin
+the Tier B edge cases (runs ending at the warm-up boundary, on a
+dependent load, on a write), and assert the knob/fingerprint plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import state_equal
+from repro.memory.cache import Cache
+from repro.memory.events import EV
+from repro.runner import SimJob
+from repro.runner.specs import spec
+from repro.runner.traces import get_trace
+from repro.sim import fastpath
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+from repro.telemetry.config import TelemetryConfig
+
+
+def build_engine(workload="gap.pr", n=5000, l1=None, l2s=(),
+                 telemetry=None, fast=None, warmup=0.5, seed=42,
+                 trace=None):
+    config = dataclasses.replace(
+        SystemConfig().scaled_down(4), warmup_fraction=warmup,
+        telemetry=telemetry, fastpath=fast)
+    if trace is None:
+        trace = get_trace(workload, n, seed)
+    l1f = spec(l1).build if l1 else None
+    l2f = [spec(s).build for s in l2s]
+    return Engine([trace], config, l1f, l2f)
+
+
+def result_and_events(eng):
+    res = eng.run().collect()[0]
+    return res, eng.bus.counts_flat()
+
+
+def assert_identical(**kwargs):
+    """Fast and scalar runs of the same engine shape are equal bytes."""
+    scalar = result_and_events(build_engine(fast=False, **kwargs))
+    fast = result_and_events(build_engine(fast=True, **kwargs))
+    assert fast == scalar
+
+
+# -- the knob --------------------------------------------------------------
+
+
+def test_env_knob_tristate(monkeypatch):
+    cfg = SystemConfig()
+    monkeypatch.delenv(fastpath.ENV_KNOB, raising=False)
+    assert fastpath.resolve(cfg) is False
+    monkeypatch.setenv(fastpath.ENV_KNOB, "1")
+    assert fastpath.resolve(cfg) is True
+    monkeypatch.setenv(fastpath.ENV_KNOB, "0")
+    assert fastpath.resolve(cfg) is False
+    monkeypatch.setenv(fastpath.ENV_KNOB, "auto")
+    assert fastpath.resolve(cfg) is False  # defer -> default off
+
+
+def test_env_knob_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(fastpath.ENV_KNOB, "yes")
+    with pytest.raises(ValueError, match="REPRO_FASTPATH"):
+        fastpath.resolve(SystemConfig())
+
+
+def test_config_wins_over_env(monkeypatch):
+    monkeypatch.setenv(fastpath.ENV_KNOB, "1")
+    assert fastpath.resolve(
+        dataclasses.replace(SystemConfig(), fastpath=False)) is False
+    monkeypatch.setenv(fastpath.ENV_KNOB, "0")
+    assert fastpath.resolve(
+        dataclasses.replace(SystemConfig(), fastpath=True)) is True
+
+
+def test_fastpath_excluded_from_fingerprint():
+    """The knob is execution strategy: same job key either way, so
+    result caches and checkpoints are shared across it."""
+    def job(fast):
+        cfg = dataclasses.replace(SystemConfig().scaled_down(4),
+                                  fastpath=fast)
+        return SimJob.single("gap.pr", 1000, cfg, l2=[spec("streamline")])
+    assert job(True).fingerprint() == job(None).fingerprint()
+    assert job(True).canonical() == job(False).canonical()
+
+
+def test_profiler_conflict_is_loud(monkeypatch):
+    from repro.obs import profile as obs_profile
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    cfg = dataclasses.replace(SystemConfig().scaled_down(4),
+                              warmup_fraction=0.0, fastpath=True)
+    prof = obs_profile.start_job()
+    try:
+        with pytest.warns(RuntimeWarning, match="fastpath"):
+            eng = Engine([get_trace("gap.pr", 500, 42)], cfg)
+        assert eng._fastpath_on is False
+        eng.run().collect()
+    finally:
+        obs_profile.end_job(prof)
+
+
+# -- bit-identity sweep ----------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ["gap.pr", "06.mcf", "06.lbm"])
+@pytest.mark.parametrize("l1,l2s", [
+    (None, ()),                      # no prefetchers
+    ("stride", ()),                  # L1 prefetcher (lookup subscribers)
+    ("stride", ("streamline",)),     # + temporal L2 (metadata, dueling)
+])
+def test_bit_identity_matrix(workload, l1, l2s):
+    assert_identical(workload=workload, l1=l1, l2s=l2s)
+
+
+@pytest.mark.parametrize("l1,l2s", [(None, ()),
+                                    ("stride", ("streamline",))])
+def test_bit_identity_with_telemetry(l1, l2s):
+    """Telemetry samplers force generic event delivery everywhere."""
+    assert_identical(workload="gap.pr", l1=l1, l2s=l2s,
+                     telemetry=TelemetryConfig(interval=500))
+
+
+def test_bit_identity_triangel():
+    assert_identical(workload="17.xalancbmk", l2s=("triangel",))
+
+
+def test_default_path_is_scalar():
+    """fastpath unset == fastpath off, byte for byte."""
+    unset = result_and_events(build_engine(fast=None))
+    off = result_and_events(build_engine(fast=False))
+    assert unset == off
+
+
+# -- checkpoints across the knob -------------------------------------------
+
+
+def test_warm_checkpoint_identical_across_knob():
+    """A fast warm-up writes the same snapshot as a scalar warm-up, so
+    checkpoints are shared across the knob in either direction."""
+    warm_fast = build_engine(l2s=("streamline",), fast=True)
+    warm_fast.run_warmup()
+    warm_scalar = build_engine(l2s=("streamline",), fast=False)
+    warm_scalar.run_warmup()
+    assert state_equal(warm_fast.state_dict(), warm_scalar.state_dict())
+
+
+@pytest.mark.parametrize("warm_fast,resume_fast", [(True, False),
+                                                   (False, True),
+                                                   (True, True)])
+def test_resume_bit_identity_across_knob(warm_fast, resume_fast):
+    straight = result_and_events(build_engine(l2s=("streamline",),
+                                              fast=False))
+    warm = build_engine(l2s=("streamline",), fast=warm_fast)
+    warm.run_warmup()
+    resumed = build_engine(l2s=("streamline",), fast=resume_fast)
+    resumed.load_state(warm.state_dict())
+    assert result_and_events(resumed) == straight
+
+
+# -- Tier B edges ----------------------------------------------------------
+
+
+def hits_trace(n, dep_at=(), write_at=(), blocks=8, gap=35):
+    """All accesses land on ``blocks`` distinct lines: after one cold
+    pass everything is a pure L1D read hit.  The default ``gap`` keeps
+    per-record clock advance ``(gap+1)/width`` above the L1 hit latency
+    so completions drain between records — the low-IPC steady state
+    Tier B's timing screen requires."""
+    idx = np.arange(n)
+    addrs = (idx % blocks) * 64
+    writes = np.zeros(n, dtype=bool)
+    writes[list(write_at)] = True
+    deps = np.zeros(n, dtype=bool)
+    deps[list(dep_at)] = True
+    return Trace("synthetic.hits", np.full(n, 0x400, dtype=np.int64),
+                 addrs.astype(np.int64), writes,
+                 np.full(n, gap, dtype=np.int32), deps)
+
+
+def force_tierb(monkeypatch):
+    """Shrink the screening thresholds so short synthetic traces
+    exercise Tier B instead of needing 4k-record runs."""
+    monkeypatch.setattr(fastpath, "MIN_RUN", 8)
+    monkeypatch.setattr(fastpath, "STREAK_TRIGGER", 4)
+    monkeypatch.setattr(fastpath, "CHUNK", 64)
+
+
+def tierb_runs(monkeypatch, trace, warmup=0.5):
+    """(scalar, fast) results for ``trace``, with Tier B engagement
+    asserted via a screen spy."""
+    screens = []
+    orig = fastpath.FastLoop._screen_run
+
+    def spy(self, *args, **kwargs):
+        out = orig(self, *args, **kwargs)
+        screens.append(out[0])
+        return out
+
+    scalar = result_and_events(build_engine(trace=trace, fast=False,
+                                            warmup=warmup))
+    monkeypatch.setattr(fastpath.FastLoop, "_screen_run", spy)
+    fast = result_and_events(build_engine(trace=trace, fast=True,
+                                          warmup=warmup))
+    assert any(length > 0 for length in screens), \
+        "Tier B never executed a run; the edge case was not exercised"
+    return scalar, fast
+
+
+def test_tierb_run_ends_at_warm_boundary(monkeypatch):
+    force_tierb(monkeypatch)
+    scalar, fast = tierb_runs(monkeypatch, hits_trace(400), warmup=0.5)
+    assert fast == scalar
+
+
+def test_tierb_run_ends_on_dep_load(monkeypatch):
+    force_tierb(monkeypatch)
+    scalar, fast = tierb_runs(
+        monkeypatch, hits_trace(400, dep_at=(100, 101, 230)), warmup=0.0)
+    assert fast == scalar
+
+
+def test_tierb_run_ends_on_write(monkeypatch):
+    force_tierb(monkeypatch)
+    scalar, fast = tierb_runs(
+        monkeypatch, hits_trace(400, write_at=(90, 250)), warmup=0.0)
+    assert fast == scalar
+
+
+def test_reused_event_delivery_is_field_identical(monkeypatch):
+    """Generic delivery reuses pooled events (the non-retention
+    contract on ``EventBus.subscribe``): field copies are identical to
+    scalar publishes, while retained references are overwritten."""
+    def recording(eng):
+        fields, retained = [], []
+
+        def on_fill(ev):
+            fields.append((ev.kind, ev.level, ev.blk, ev.pc, ev.origin,
+                           ev.now, ev.owner, ev.dirty))
+            retained.append(ev)
+        eng.bus.subscribe(EV.FILL, on_fill)
+        eng.run()
+        return fields, retained
+
+    fields_s, retained_s = recording(build_engine(fast=False))
+    fields_f, retained_f = recording(build_engine(fast=True))
+    assert fields_f == fields_s
+    # Scalar publish allocates per event; the fast path must not.
+    assert len({id(ev) for ev in retained_s}) == len(retained_s)
+    assert len({id(ev) for ev in retained_f}) < len(retained_f)
+
+
+# -- free-way bookkeeping --------------------------------------------------
+
+
+def test_cache_free_ways_stays_exact():
+    """``Cache.free_ways`` (added for O(1) install decisions) must
+    track the invalid-way count through fills, invalidations, and
+    partition resizes."""
+    cache = Cache("L", 64 * 4 * 8, 4, 1)
+
+    def recount():
+        return [sum(1 for line in row[:nd] if not line.valid)
+                for row, nd in zip(cache.lines, cache._data_ways)]
+
+    rng = np.random.default_rng(7)
+    for blk in rng.integers(0, 256, size=400).tolist():
+        cache.fill(int(blk), 0.0)
+        assert cache.free_ways == recount()
+    for blk in rng.integers(0, 256, size=64).tolist():
+        cache.invalidate(int(blk))
+        assert cache.free_ways == recount()
+    for s in range(cache.num_sets):
+        cache.set_data_ways(s, 2)
+        assert cache.free_ways == recount()
+        cache.set_data_ways(s, 4)
+        assert cache.free_ways == recount()
+    state = cache.state_dict()
+    fresh = Cache("L", 64 * 4 * 8, 4, 1)
+    fresh.load_state(state)
+    assert fresh.free_ways == cache.free_ways
