@@ -55,6 +55,24 @@ def env_tristate(name: str):
         f"{name} must be unset, '', 'auto', '0', or '1', got {raw!r}")
 
 
+def env_dir(name: str):
+    """A directory-path knob: unset/empty -> ``None`` (caller default).
+
+    The path need not exist yet (stores create their roots lazily), but
+    a value naming an existing *non-directory* is rejected immediately
+    with the variable named — writing a store "into" a regular file
+    would otherwise surface as a confusing ``mkdir`` traceback mid-run.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return None
+    if os.path.exists(raw) and not os.path.isdir(raw):
+        raise ValueError(
+            f"{name} must name a directory (existing or creatable), "
+            f"got non-directory {raw!r}")
+    return raw
+
+
 def env_flag(name: str, default: bool = False) -> bool:
     """A strict boolean knob: unset/empty -> ``default``, ``0``/``1``
     -> off/on, anything else -> ``ValueError``.

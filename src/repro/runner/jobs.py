@@ -33,6 +33,7 @@ from ..workloads import DEFAULT_SEED
 from .probes import ProbeContext, run_probes
 from .specs import PrefetcherSpec, as_spec
 from .traces import get_trace
+from .traces import store_stats as trace_store_stats
 
 #: Bump to invalidate every on-disk cache entry after a semantic change
 #: to the engine or workload generators.
@@ -265,6 +266,7 @@ class SimJob:
         log = obs_runlog.current()
         fp = self.fingerprint() if (log is not None) else ""
         t0 = time.perf_counter()
+        store0 = trace_store_stats()
         if log is not None:
             log.emit("job_start", fingerprint=fp, kind=self.kind,
                      workloads=list(self.workloads), n=self.n,
@@ -279,11 +281,17 @@ class SimJob:
                                           profile=prof.report()),
                 probes=result.probes)
         if log is not None:
+            # On-disk trace store effectiveness, as this job's delta of
+            # the per-process counters (all-zero unless
+            # REPRO_TRACE_STREAM routes acquisition through the store).
+            store1 = trace_store_stats()
             log.emit("job_end", fingerprint=fp, kind=self.kind,
                      workloads=list(self.workloads), n=self.n,
                      prefetcher=self._label(),
                      wall_seconds=time.perf_counter() - t0,
                      restored=restored,
+                     trace_store={k: store1[k] - store0[k]
+                                  for k in store1},
                      profile=prof.report() if prof is not None else None)
         return result
 

@@ -34,10 +34,13 @@ from ..memory.hierarchy import CoreHierarchy, SharedUncore
 from ..obs import profile as obs_profile
 from ..prefetchers.base import Prefetcher
 from ..telemetry import TelemetryHarness
+from ..tracestream.chunk import MARK_CKPT, Mark
+from ..tracestream.stages import chunks_of, insert_marks
+from ..tracestream.stages import records as stream_records
 from . import fastpath
 from .config import SystemConfig
 from .stats import PrefetchReport, SimResult
-from .trace import Trace
+from .trace import TraceSource
 
 PrefetcherFactory = Callable[[], Prefetcher]
 
@@ -202,7 +205,7 @@ class Engine:
     is furthest behind (degenerating to the plain serial loop at N=1).
     """
 
-    def __init__(self, traces: Sequence[Trace],
+    def __init__(self, traces: Sequence[TraceSource],
                  config: Optional[SystemConfig] = None,
                  l1_prefetcher: Optional[PrefetcherFactory] = None,
                  l2_prefetchers: Sequence[PrefetcherFactory] = (),
@@ -420,6 +423,49 @@ class Engine:
         self._mark_every = every
         self._on_mark = callback
 
+    def _install_inband_marks(self) -> bool:
+        """Move the periodic progress mark in band; True on success.
+
+        Single-core, trace-backed engines rebuild their record stream
+        as a marked chunk pipeline: :class:`Mark` items at exactly the
+        absolute positions the scalar modulus would fire at ride the
+        stream and invoke the hook at pull time.  That is the same
+        between-steps state point — counts/models are untouched while
+        the pull is in flight and the heap is rebuilt from model clocks
+        on restore — so snapshots taken by the hook are bit-identical
+        to the scalar path's.  Multicore and externally-streamed
+        engines keep the scalar modulus (the pipeline would have to
+        split per-core position accounting).
+        """
+        if self._streams is not None or self.num_cores != 1:
+            return False
+        trace, warm = self.traces[0], self._warmups[0]
+        if warm == 0:
+            # The scalar path never counts measured steps without a
+            # warm boundary, so there are no marks to place.
+            return True
+        hook = self._on_mark
+        assert hook is not None
+        start = self._counts[0]
+        # The scalar modulus counts the warm-boundary step itself as
+        # measured step 1 (its stats are reset after processing), so it
+        # fires after the step that brings counts to warm-1+k*every.
+        # The in-band mark at position p fires during the pull of
+        # record p — same counts, same point between steps.
+        marks = [Mark(MARK_CKPT, p)
+                 for p in range(warm - 1 + self._mark_every,
+                                len(trace) + 1, self._mark_every)
+                 if p > start]
+
+        def fire(_mark: Mark) -> None:
+            hook(self)
+
+        self._iters[0] = stream_records(
+            insert_marks(chunks_of(trace, start=start), marks,
+                         base=start),
+            on_mark=fire)
+        return True
+
     def run(self) -> "Engine":
         """Drive every core through its trace, handling warm-up resets."""
         if self._ran:
@@ -430,15 +476,23 @@ class Engine:
             fl.run(stop_at_warm=False)
             self._ran = True
             return self
+        inband = False
+        if self._mark_every and self._on_mark is not None:
+            inband = self._install_inband_marks()
         prof = self._prof
         if prof is not None:
             prof.start("measure")
         try:
             while self._step():
                 if self._mark_every and self._warmed == self.num_cores:
+                    # Counted on both paths: measured_steps is part of
+                    # the snapshot, so in-band runs must keep it
+                    # bit-identical even though their firing comes from
+                    # the stream.
                     self._measured_steps += 1
-                    if self._measured_steps % self._mark_every == 0 and \
-                            self._on_mark is not None:
+                    if not inband and \
+                            self._measured_steps % self._mark_every == 0 \
+                            and self._on_mark is not None:
                         self._on_mark(self)
         finally:
             if prof is not None:
@@ -495,9 +549,16 @@ class Engine:
         self._start()
         for i, count in enumerate(counts):
             if count:
-                # Consume exactly `count` records (the snapshot already
-                # processed them).
-                next(islice(self._iters[i], count - 1, count), None)
+                if self._streams is None:
+                    # O(1) chunk-level seek: reposition the source
+                    # instead of draining `count` records through the
+                    # iterator (decisive for streaming 100M+ traces).
+                    self._iters[i] = self.traces[i].iter_from(count)
+                else:
+                    # External streams only expose iteration: consume
+                    # exactly `count` records (the snapshot already
+                    # processed them).
+                    next(islice(self._iters[i], count - 1, count), None)
         self._counts = counts
         self._warmed = int(state["warmed"])
         self._measured_steps = int(state["measured_steps"])
@@ -572,7 +633,7 @@ class Engine:
         return results
 
 
-def run_single(trace: Trace, config: Optional[SystemConfig] = None,
+def run_single(trace: TraceSource, config: Optional[SystemConfig] = None,
                l1_prefetcher: Optional[PrefetcherFactory] = None,
                l2_prefetchers: Sequence[PrefetcherFactory] = ()
                ) -> SimResult:

@@ -895,15 +895,17 @@ class FastLoop:
         ``rob/width`` cycles >> hit_lat).  ``(0, None)`` if no
         profitable run exists.
         """
-        cols = self.engine.traces[0].columns()
+        w = min(limit - s, SCREEN_WINDOW)
+        # Bounded window, not the whole trace: streaming sources
+        # materialize only these `w` records.
+        win = self.engine.traces[0].columns_range(s, s + w)
         # Same float op as the scalar advance, so the threshold is the
         # exact post-advance clock of record s.
-        c1 = c0 + (float(cols.gaps[s]) + 1.0) / self.engine.models[0].width
+        c1 = c0 + (float(win.gaps[0]) + 1.0) / self.engine.models[0].width
         for comp, _idx in outstanding:
             if comp > c1:
                 return 0, None
-        w = min(limit - s, SCREEN_WINDOW)
-        blks = cols.blks[s:s + w]
+        blks = win.blks
         # Residency snapshot: lines that are valid, ready by c0 (clocks
         # only grow, so ready <= c0 implies ready <= every in-run now),
         # and carry no pending prefetch credit.
@@ -927,8 +929,7 @@ class FastLoop:
         ef_arr = np.asarray(ef, dtype=np.int64)[order]
         idx = np.searchsorted(eb_arr, blks)
         idx_c = np.minimum(idx, len(eb_arr) - 1)
-        ok = ((eb_arr[idx_c] == blks)
-              & ~cols.writes[s:s + w] & ~cols.deps[s:s + w])
+        ok = ((eb_arr[idx_c] == blks) & ~win.writes & ~win.deps)
         if bool(ok[0]) is False:
             return 0, None
         if ok.all():
@@ -939,7 +940,7 @@ class FastLoop:
             return 0, None
         # Timing screen: sequential cumsum reproduces the scalar
         # left-fold clock bit for bit.
-        gaps = cols.gaps[s:s + run_len].astype(np.float64)
+        gaps = win.gaps[:run_len].astype(np.float64)
         terms = (gaps + 1.0) / self.engine.models[0].width
         clocks = np.cumsum(np.concatenate(([c0], terms)))[1:]
         mlp = self.engine.models[0].mlp
@@ -951,15 +952,14 @@ class FastLoop:
                     return 0, None
                 clocks = clocks[:run_len]
         flat = ef_arr[idx_c[:run_len]]
-        return run_len, (clocks, flat)
+        return run_len, (clocks, flat, win.gaps[:run_len])
 
     def _execute_run(self, s: int, run_len: int, plan: tuple,
                      instrs0: int, outstanding
                      ) -> Tuple[float, int, float]:
         """Apply one screened run; returns (clock, instrs, last_comp)."""
-        clocks, flat = plan
-        cols = self.engine.traces[0].columns()
-        inc = cols.gaps[s:s + run_len].astype(np.int64) + 1
+        clocks, flat, gaps = plan
+        inc = gaps.astype(np.int64) + 1
         instr_cum = instrs0 + np.cumsum(inc)
         # Stats and counters, in bulk.
         st = self.l1.stats
@@ -1010,9 +1010,6 @@ class FastLoop:
         """
         eng = self.engine
         trace = eng.traces[0]
-        cols = trace.columns()
-        pcs_a, blks_a = cols.pcs, cols.blks
-        writes_a, gaps_a, deps_a = cols.writes, cols.gaps, cols.deps
         n = len(trace)
         warm_at = eng._warmups[0]
         pos = eng._counts[0]
@@ -1050,11 +1047,14 @@ class FastLoop:
                 seg_end = min(seg_end, warm_at)
             while pos < seg_end:
                 cend = min(pos + CHUNK, seg_end)
-                pcs_l = pcs_a[pos:cend].tolist()
-                blks_l = blks_a[pos:cend].tolist()
-                writes_l = writes_a[pos:cend].tolist()
-                gaps_l = gaps_a[pos:cend].tolist()
-                deps_l = deps_a[pos:cend].tolist()
+                # One bounded slab per iteration: a streaming trace
+                # materializes CHUNK records here, never the whole run.
+                slab = trace.columns_range(pos, cend)
+                pcs_l = slab.pcs.tolist()
+                blks_l = slab.blks.tolist()
+                writes_l = slab.writes.tolist()
+                gaps_l = slab.gaps.tolist()
+                deps_l = slab.deps.tolist()
                 m = cend - pos
                 i = 0
                 while i < m:

@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
+from ..tracestream.stages import bias, chunks_of, records
 from .config import SystemConfig
 from .engine import Engine, PrefetcherFactory, Record
 from .stats import SimResult
-from .trace import Trace
+from .trace import TraceSource
 
 #: Bits of private address space per core.  Every biased address is
 #: ``(addr mod 2**REGION_BITS) | core << REGION_BITS``: region
@@ -34,11 +35,15 @@ REGION_BITS = 44
 REGION_MASK = (1 << REGION_BITS) - 1
 
 
-def _biased(trace: Trace, core: int) -> Iterator[Record]:
-    """Yield trace records folded into ``core``'s private region."""
-    region = core << REGION_BITS
-    for pc, addr, is_write, gap, dep in trace:
-        yield pc, (addr & REGION_MASK) | region, is_write, gap, dep
+def _biased(trace: TraceSource, core: int) -> Iterator[Record]:
+    """Yield trace records folded into ``core``'s private region.
+
+    Runs as a chunk pipeline — the fold is one vectorized mask-or per
+    chunk (:func:`repro.tracestream.stages.bias`) instead of a
+    per-record Python expression, and a streaming trace source is
+    consumed chunk by chunk in constant memory.
+    """
+    return records(bias(chunks_of(trace), core, REGION_BITS))
 
 
 @dataclass
@@ -57,7 +62,7 @@ class MulticoreResult:
         return sum(c.ipc for c in self.cores)
 
 
-def build_multicore(traces: Sequence[Trace],
+def build_multicore(traces: Sequence[TraceSource],
                     config: Optional[SystemConfig] = None,
                     l1_prefetcher: Optional[PrefetcherFactory] = None,
                     l2_prefetchers: Sequence[PrefetcherFactory] = ()
@@ -71,7 +76,7 @@ def build_multicore(traces: Sequence[Trace],
                   streams=[_biased(t, i) for i, t in enumerate(traces)])
 
 
-def run_multicore(traces: Sequence[Trace],
+def run_multicore(traces: Sequence[TraceSource],
                   config: Optional[SystemConfig] = None,
                   l1_prefetcher: Optional[PrefetcherFactory] = None,
                   l2_prefetchers: Sequence[PrefetcherFactory] = ()

@@ -6,17 +6,25 @@ address, a write flag, and the number of non-memory instructions retired
 since the previous memory operation (so instruction counts and IPC can be
 reconstructed without simulating non-memory work).
 
-Traces are immutable once built and can be saved/loaded as ``.npz`` files
-for reuse across experiments.
+The engine is written against the :class:`TraceSource` protocol, which
+two implementations satisfy: the fully materialized :class:`Trace`
+below, and :class:`repro.tracestream.StreamingTrace`, which replays a
+chunked on-disk store entry through mmap in constant memory.  Both hand
+out the same record tuples and the same columnar chunk views, which is
+what makes the streaming path bit-identical to the in-memory one.
+
+Traces are immutable once built and can be saved/loaded as ``.npz``
+files for reuse across experiments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import (Iterable, Iterator, List, NamedTuple, Optional,
-                    Sequence, Tuple)
+                    Protocol, Sequence, Tuple, runtime_checkable)
 
 import numpy as np
+
+from ..tracestream.chunk import CHUNK_RECORDS, TraceChunk
 
 #: Records per chunk when iterating a trace.  Large enough that the
 #: per-chunk ``tolist()`` overhead vanishes, small enough that peak
@@ -38,15 +46,49 @@ class TraceColumns(NamedTuple):
     deps: np.ndarray    # bool_
 
 
-@dataclass(frozen=True)
+@runtime_checkable
+class TraceSource(Protocol):
+    """What the engine and fast path need from a trace.
+
+    ``iter_from`` yields plain-Python ``(pc, addr, is_write, gap, dep)``
+    tuples; ``chunk_at``/``columns_range`` hand out bounded columnar
+    windows (the unit of vectorization for the fast path and the
+    streaming pipeline).  Implementations must return identical values
+    for identical logical traces — the streaming/in-memory bit-identity
+    guarantee rests on it.
+    """
+
+    name: str
+
+    def __len__(self) -> int: ...
+
+    @property
+    def instructions(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Tuple[int, int, bool, int, bool]]: ...
+
+    def iter_from(self, start: int
+                  ) -> Iterator[Tuple[int, int, bool, int, bool]]: ...
+
+    def iter_chunks(self, start: int = 0) -> Iterator[TraceChunk]: ...
+
+    def chunk_at(self, start: int, stop: int) -> TraceChunk: ...
+
+    def columns_range(self, start: int, stop: int) -> TraceColumns: ...
+
+
 class TraceRecord:
     """One memory operation."""
 
-    pc: int
-    addr: int
-    is_write: bool = False
-    gap: int = 3          # non-memory instructions preceding this op
-    dep: bool = False     # depends on the previous load (pointer chase)
+    __slots__ = ("pc", "addr", "is_write", "gap", "dep")
+
+    def __init__(self, pc: int, addr: int, is_write: bool = False,
+                 gap: int = 3, dep: bool = False):
+        self.pc = pc
+        self.addr = addr
+        self.is_write = is_write
+        self.gap = gap
+        self.dep = dep
 
 
 class Trace:
@@ -93,9 +135,9 @@ class Trace:
                   ) -> Iterator[Tuple[int, int, bool, int, bool]]:
         """Like ``iter(trace)`` but starting at record ``start``.
 
-        The fast path uses this to reposition an engine's record stream
-        in O(1) after consuming a span columnarly, so scalar and batched
-        execution can interleave on one engine.
+        The fast path and the engine's checkpoint restore use this to
+        reposition a record stream in O(1) instead of draining an
+        ``islice``.
         """
         n = len(self.pcs)
         for lo in range(start, n, ITER_CHUNK):
@@ -119,10 +161,29 @@ class Trace:
             self._columns = cols
         return cols
 
+    def columns_range(self, start: int, stop: int) -> TraceColumns:
+        """Columnar view of records ``[start, stop)`` (aliasing slices)."""
+        cols = self.columns()
+        return TraceColumns(cols.pcs[start:stop], cols.blks[start:stop],
+                            cols.writes[start:stop],
+                            cols.gaps[start:stop], cols.deps[start:stop])
+
+    def chunk_at(self, start: int, stop: int) -> TraceChunk:
+        """Chunk view of records ``[start, stop)`` (aliasing slices)."""
+        return TraceChunk(self.pcs[start:stop], self.addrs[start:stop],
+                          self.writes[start:stop], self.gaps[start:stop],
+                          self.deps[start:stop])
+
+    def iter_chunks(self, start: int = 0) -> Iterator[TraceChunk]:
+        """Fixed-size chunk stream over the trace (zero-copy views)."""
+        n = len(self.pcs)
+        for lo in range(start, n, ITER_CHUNK):
+            yield self.chunk_at(lo, min(n, lo + ITER_CHUNK))
+
     @property
     def instructions(self) -> int:
         """Total retired instructions represented by this trace."""
-        return int(self.gaps.sum()) + len(self)
+        return int(self.gaps.sum(dtype=np.int64)) + len(self)
 
     def slice(self, start: int, stop: int) -> "Trace":
         return Trace(f"{self.name}[{start}:{stop}]",
@@ -132,7 +193,7 @@ class Trace:
 
     def footprint_blocks(self) -> int:
         """Number of distinct 64B blocks touched."""
-        return int(np.unique(self.addrs >> 6).size)
+        return int(np.unique(self.columns().blks).size)
 
     def unique_pcs(self) -> int:
         return int(np.unique(self.pcs).size)
@@ -159,36 +220,93 @@ class Trace:
             builder.add(r.pc, r.addr, r.is_write, r.gap, r.dep)
         return builder.build()
 
+    @classmethod
+    def from_chunks(cls, name: str,
+                    chunks: Iterable[TraceChunk]) -> "Trace":
+        """Materialize a chunk stream (marks excluded by the caller)."""
+        parts = list(chunks)
+        if not parts:
+            return cls(name, [], [], [], [])
+        if len(parts) == 1:
+            c = parts[0]
+            return cls(name, c.pcs, c.addrs, c.writes, c.gaps, c.deps)
+        return cls(name,
+                   np.concatenate([c.pcs for c in parts]),
+                   np.concatenate([c.addrs for c in parts]),
+                   np.concatenate([c.writes for c in parts]),
+                   np.concatenate([c.gaps for c in parts]),
+                   np.concatenate([c.deps for c in parts]))
+
 
 class TraceBuilder:
-    """Mutable helper used by the workload generators."""
+    """Mutable helper used by the workload generators.
+
+    Records accumulate into fixed-size numpy column buffers (flushed to
+    an immutable chunk list when full), so building a trace costs its
+    numpy size plus one partial chunk — not the ~10x of five growing
+    Python lists of boxed scalars.
+    """
+
+    #: Records per builder buffer (one flush each).
+    CHUNK = CHUNK_RECORDS
 
     def __init__(self, name: str):
         self.name = name
-        self._pcs: List[int] = []
-        self._addrs: List[int] = []
-        self._writes: List[bool] = []
-        self._gaps: List[int] = []
-        self._deps: List[bool] = []
+        self._chunks: List[TraceChunk] = []
+        self._fill = 0
+        self._alloc()
+
+    def _alloc(self) -> None:
+        c = self.CHUNK
+        self._pcs = np.empty(c, dtype=np.int64)
+        self._addrs = np.empty(c, dtype=np.int64)
+        self._writes = np.empty(c, dtype=np.bool_)
+        self._gaps = np.empty(c, dtype=np.int32)
+        self._deps = np.empty(c, dtype=np.bool_)
+
+    def _flush(self) -> None:
+        """Freeze the (full or partial) buffer into the chunk list."""
+        i = self._fill
+        if not i:
+            return
+        self._chunks.append(TraceChunk(
+            self._pcs[:i].copy(), self._addrs[:i].copy(),
+            self._writes[:i].copy(), self._gaps[:i].copy(),
+            self._deps[:i].copy()))
+        self._fill = 0
 
     def __len__(self) -> int:
-        return len(self._pcs)
+        return sum(len(c) for c in self._chunks) + self._fill
 
     def add(self, pc: int, addr: int, is_write: bool = False,
             gap: int = 3, dep: bool = False) -> None:
-        self._pcs.append(pc)
-        self._addrs.append(addr)
-        self._writes.append(is_write)
-        self._gaps.append(gap)
-        self._deps.append(dep)
+        i = self._fill
+        if i == self.CHUNK:
+            self._flush()
+            i = 0
+        self._pcs[i] = pc
+        self._addrs[i] = addr
+        self._writes[i] = is_write
+        self._gaps[i] = gap
+        self._deps[i] = dep
+        self._fill = i + 1
+
+    def add_chunk(self, chunk: TraceChunk) -> None:
+        """Append a whole columnar chunk (vectorized generators)."""
+        if len(chunk):
+            self._flush()
+            self._chunks.append(chunk)
 
     def extend(self, other: "TraceBuilder") -> None:
-        self._pcs.extend(other._pcs)
-        self._addrs.extend(other._addrs)
-        self._writes.extend(other._writes)
-        self._gaps.extend(other._gaps)
-        self._deps.extend(other._deps)
+        self._flush()
+        self._chunks.extend(other._chunks)
+        if other._fill:
+            i = other._fill
+            self._chunks.append(TraceChunk(
+                other._pcs[:i].copy(), other._addrs[:i].copy(),
+                other._writes[:i].copy(), other._gaps[:i].copy(),
+                other._deps[:i].copy()))
 
     def build(self) -> Trace:
-        return Trace(self.name, self._pcs, self._addrs, self._writes,
-                     self._gaps, self._deps)
+        self._flush()
+        return Trace.from_chunks(self.name, self._chunks)

@@ -7,7 +7,9 @@ not part of the default suite registry but plug into the same engines.
 
 from . import base, graphs
 from .mixes import generate_mixes, mix_name
-from .suites import DEFAULT_SEED, make, names, suite, suite_of
+from .suites import (DEFAULT_SEED, make, make_chunks, names, suite,
+                     suite_of)
 
 __all__ = ["base", "graphs", "generate_mixes", "mix_name",
-           "DEFAULT_SEED", "make", "names", "suite", "suite_of"]
+           "DEFAULT_SEED", "make", "make_chunks", "names", "suite",
+           "suite_of"]

@@ -22,18 +22,34 @@ that matters to the paper's evaluation:
 
 All generators are deterministic given a seed.  Addresses for different
 logical data structures live in disjoint 4GB regions so they never alias.
+
+Each archetype is implemented as a *chunk producer* (``_*_chunks``)
+yielding fixed-size columnar :class:`~repro.tracestream.chunk.TraceChunk`
+batches in constant memory; the public functions materialize those
+chunks into a :class:`Trace` and :data:`CHUNK_GENERATORS` exposes the
+producers to the streaming pipeline (``repro.tracestream``).  The
+producers draw from ``np.random.Generator`` in *exactly* the call order
+and shapes of the original per-record loops, so traces are bit-identical
+to the pre-streaming implementation (pinned by
+``tests/data/workload_hashes.json``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..sim.trace import Trace, TraceBuilder
+from ..sim.trace import Trace
+from ..tracestream.chunk import CHUNK_RECORDS, TraceChunk, make_chunk
+from ..tracestream.stages import rechunk, shift
 
 REGION_BITS = 32
 _PC_BASE = 0x400000
+
+#: name -> chunk-producer; signature ``fn(n, seed, **kwargs)`` yielding
+#: TraceChunk.  The streaming store generates straight from these.
+CHUNK_GENERATORS: Dict[str, Callable[..., Iterator[TraceChunk]]] = {}
 
 
 def _rng(seed: int) -> np.random.Generator:
@@ -50,6 +66,16 @@ def _pc(idx: int) -> int:
     return _PC_BASE + 4 * idx
 
 
+def _regions(idxs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_region`."""
+    return (idxs.astype(np.int64) + 1) << REGION_BITS
+
+
+def _pcs(idxs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_pc`."""
+    return _PC_BASE + 4 * idxs.astype(np.int64)
+
+
 def _zipf_indices(rng: np.random.Generator, n: int, universe: int,
                   alpha: float) -> np.ndarray:
     """``n`` Zipf(alpha)-distributed indices in [0, universe)."""
@@ -61,6 +87,60 @@ def _zipf_indices(rng: np.random.Generator, n: int, universe: int,
     return rng.choice(universe, size=n, p=probs)
 
 
+def _only_chunks(stream) -> Iterator[TraceChunk]:
+    """Narrow a mark-free StreamItem iterator for the type checker."""
+    for item in stream:
+        if isinstance(item, TraceChunk):
+            yield item
+
+
+# -- pointer_chase -------------------------------------------------------------
+
+def _pointer_chase_chunks(n: int, seed: int, nodes: int = 32768,
+                          n_lists: int = 1, mutate_every: int = 0,
+                          node_bytes: int = 64,
+                          gap: int = 6) -> Iterator[TraceChunk]:
+    rng = _rng(seed)
+    perms = np.stack([rng.permutation(nodes) for _ in range(n_lists)])
+    p0 = np.array([int(rng.integers(0, nodes)) for _ in range(n_lists)],
+                  dtype=np.int64)
+
+    def span(lo: int, hi: int) -> TraceChunk:
+        # Access i hits list i % n_lists at its (i // n_lists)-th step;
+        # positions advance one per visit from the random start p0.
+        i = np.arange(lo, hi, dtype=np.int64)
+        li = i % n_lists
+        pos = (p0[li] + i // n_lists) % nodes
+        addrs = _regions(li) + perms[li, pos] * node_bytes
+        return make_chunk(_pcs(li), addrs,
+                          deps=np.ones(hi - lo, dtype=np.bool_), gap=gap)
+
+    if not mutate_every:
+        for lo in range(0, n, CHUNK_RECORDS):
+            yield span(lo, min(n, lo + CHUNK_RECORDS))
+        return
+    # With mutation, every list re-links once per `mutate_every` visits,
+    # i.e. all lists mutate in the same "event round" r with
+    # (r + 1) % mutate_every == 0.  Rounds between events are static and
+    # vectorize; event rounds emit first (reads precede each list's own
+    # swap) and then apply the swaps in the original per-access order.
+    r = 0
+    while r * n_lists < n:
+        r_ev = (r // mutate_every + 1) * mutate_every - 1
+        lo, hi = r * n_lists, min(n, r_ev * n_lists)
+        for s in range(lo, hi, CHUNK_RECORDS):
+            yield span(s, min(hi, s + CHUNK_RECORDS))
+        ev_lo = r_ev * n_lists
+        if ev_lo >= n:
+            return
+        ev_hi = min(n, ev_lo + n_lists)
+        yield span(ev_lo, ev_hi)
+        for li in range(ev_hi - ev_lo):
+            a, b = rng.integers(0, nodes, size=2)
+            perms[li, a], perms[li, b] = perms[li, b], perms[li, a]
+        r = r_ev + 1
+
+
 def pointer_chase(name: str, n: int, seed: int, nodes: int = 32768,
                   n_lists: int = 1, mutate_every: int = 0,
                   node_bytes: int = 64, gap: int = 6) -> Trace:
@@ -69,25 +149,71 @@ def pointer_chase(name: str, n: int, seed: int, nodes: int = 32768,
     ``mutate_every`` > 0 re-links a random node every that many accesses,
     creating the stale-metadata situations Fig. 4 discusses.
     """
+    return Trace.from_chunks(name, _pointer_chase_chunks(
+        n, seed, nodes=nodes, n_lists=n_lists, mutate_every=mutate_every,
+        node_bytes=node_bytes, gap=gap))
+
+
+# -- graph_sweep ---------------------------------------------------------------
+
+def _graph_sweep_chunks(n: int, seed: int, vertices: int = 4096,
+                        avg_degree: int = 8, stable_order: bool = True,
+                        perturbation: float = 0.05, vertex_bytes: int = 64,
+                        universe_factor: int = 8,
+                        gap: int = 4) -> Iterator[TraceChunk]:
     rng = _rng(seed)
-    builder = TraceBuilder(name)
-    perms = [rng.permutation(nodes) for _ in range(n_lists)]
-    cursors = [0] * n_lists
-    positions = [rng.integers(0, nodes) for _ in range(n_lists)]
-    mutations = 0
-    for i in range(n):
-        li = i % n_lists
-        perm = perms[li]
-        pos = positions[li]
-        addr = _region(li) + int(perm[pos]) * node_bytes
-        builder.add(_pc(li), addr, gap=gap, dep=True)
-        positions[li] = (pos + 1) % nodes
-        cursors[li] += 1
-        if mutate_every and cursors[li] % mutate_every == 0:
-            a, b = rng.integers(0, nodes, size=2)
-            perm[a], perm[b] = perm[b], perm[a]
-            mutations += 1
-    return builder.build()
+    degrees = np.maximum(1, rng.poisson(avg_degree, size=vertices))
+    universe = max(1, universe_factor) * vertices
+    neighbours = [rng.integers(0, universe, size=int(d)) for d in degrees]
+    deg = degrees.astype(np.int64)
+    flat = np.concatenate(neighbours).astype(np.int64)
+    indptr = np.zeros(vertices + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(deg)
+    order = np.arange(vertices)
+    vprop_region = _region(0)
+    nprop_region = _region(1)
+    pc_v, pc_n = _pc(0), _pc(1)
+
+    def sweep_arrays() -> TraceChunk:
+        # One full sweep flattened: per vertex v (in `order`), one
+        # vertex-property read then deg[v] neighbour reads.
+        ordv = order.astype(np.int64)
+        lens = 1 + deg[ordv]
+        total = int(lens.sum())
+        starts = np.zeros(vertices, dtype=np.int64)
+        starts[1:] = np.cumsum(lens[:-1])
+        block = np.repeat(np.arange(vertices, dtype=np.int64), lens)
+        within = np.arange(total, dtype=np.int64) - starts[block]
+        is_v = within == 0
+        vb = ordv[block]
+        addrs = np.empty(total, dtype=np.int64)
+        addrs[is_v] = vprop_region + vb[is_v] * vertex_bytes
+        nz = ~is_v
+        addrs[nz] = (nprop_region
+                     + flat[indptr[vb[nz]] + within[nz] - 1] * vertex_bytes)
+        return make_chunk(np.where(is_v, pc_v, pc_n), addrs,
+                          gaps=np.where(is_v, gap, 2), deps=nz)
+
+    cached: Optional[TraceChunk] = None
+    emitted = 0
+    while emitted < n:
+        if not stable_order:
+            k = max(1, int(vertices * perturbation))
+            idx = rng.integers(0, vertices, size=(k, 2))
+            for a, b in idx:
+                order[a], order[b] = order[b], order[a]
+        elif cached is not None:
+            full = cached
+            take = min(len(full), n - emitted)
+            yield full.slice(0, take)
+            emitted += take
+            continue
+        full = sweep_arrays()
+        if stable_order:
+            cached = full
+        take = min(len(full), n - emitted)
+        yield full.slice(0, take)
+        emitted += take
 
 
 def graph_sweep(name: str, n: int, seed: int, vertices: int = 4096,
@@ -104,64 +230,84 @@ def graph_sweep(name: str, n: int, seed: int, vertices: int = 4096,
     property array dwarfs any one frontier; this keeps the neighbour
     stream irregular without making every block a conflicting trigger.
     """
-    rng = _rng(seed)
-    degrees = np.maximum(1, rng.poisson(avg_degree, size=vertices))
-    universe = max(1, universe_factor) * vertices
-    neighbours = [rng.integers(0, universe, size=int(d)) for d in degrees]
-    order = np.arange(vertices)
-    builder = TraceBuilder(name)
-    vprop_region = _region(0)
-    nprop_region = _region(1)
-    pc_v, pc_n = _pc(0), _pc(1)
-    emitted = 0
-    while emitted < n:
-        if not stable_order:
-            k = max(1, int(vertices * perturbation))
-            idx = rng.integers(0, vertices, size=(k, 2))
-            for a, b in idx:
-                order[a], order[b] = order[b], order[a]
-        for v in order:
-            builder.add(pc_v, vprop_region + int(v) * vertex_bytes, gap=gap)
-            emitted += 1
-            if emitted >= n:
-                break
-            for u in neighbours[int(v)]:
-                builder.add(pc_n, nprop_region + int(u) * vertex_bytes,
-                            gap=2, dep=True)
-                emitted += 1
-                if emitted >= n:
-                    break
-            if emitted >= n:
-                break
-    return builder.build()
+    return Trace.from_chunks(name, _graph_sweep_chunks(
+        n, seed, vertices=vertices, avg_degree=avg_degree,
+        stable_order=stable_order, perturbation=perturbation,
+        vertex_bytes=vertex_bytes, universe_factor=universe_factor,
+        gap=gap))
+
+
+# -- stream / strided ----------------------------------------------------------
+
+def _stream_chunks(n: int, seed: int, arrays: int = 3,
+                   array_bytes: int = 1 << 22, stride: int = 8,
+                   gap: int = 2) -> Iterator[TraceChunk]:
+    del seed  # fully regular; seed kept for a uniform signature
+    for lo in range(0, n, CHUNK_RECORDS):
+        hi = min(n, lo + CHUNK_RECORDS)
+        i = np.arange(lo, hi, dtype=np.int64)
+        a = i % arrays
+        # Array a's (i // arrays)-th visit sits at offset k*stride mod
+        # the array size (offsets advance by `stride` per visit).
+        offs = ((i // arrays) * stride) % array_bytes
+        yield make_chunk(_pcs(a), _regions(a) + offs,
+                         writes=(a == arrays - 1), gap=gap)
 
 
 def stream(name: str, n: int, seed: int, arrays: int = 3,
            array_bytes: int = 1 << 22, stride: int = 8,
            gap: int = 2) -> Trace:
     """Sequential sweeps over large arrays (lbm/libquantum-like)."""
-    del seed  # fully regular; seed kept for a uniform signature
-    builder = TraceBuilder(name)
-    offsets = [0] * arrays
-    for i in range(n):
-        a = i % arrays
-        addr = _region(a) + offsets[a]
-        builder.add(_pc(a), addr, is_write=(a == arrays - 1), gap=gap)
-        offsets[a] = (offsets[a] + stride) % array_bytes
-    return builder.build()
+    return Trace.from_chunks(name, _stream_chunks(
+        n, seed, arrays=arrays, array_bytes=array_bytes, stride=stride,
+        gap=gap))
+
+
+def _strided_chunks(n: int, seed: int, stride: int = 192,
+                    array_bytes: int = 1 << 23,
+                    gap: int = 4) -> Iterator[TraceChunk]:
+    del seed
+    base = _region(0)
+    pc = _pc(0)
+    for lo in range(0, n, CHUNK_RECORDS):
+        hi = min(n, lo + CHUNK_RECORDS)
+        i = np.arange(lo, hi, dtype=np.int64)
+        yield make_chunk(np.full(hi - lo, pc, dtype=np.int64),
+                         base + (i * stride) % array_bytes, gap=gap)
 
 
 def strided(name: str, n: int, seed: int, stride: int = 192,
             array_bytes: int = 1 << 23, gap: int = 4) -> Trace:
     """Fixed non-unit stride over one array (regular; covered by IP-stride)."""
-    del seed
-    builder = TraceBuilder(name)
-    off = 0
+    return Trace.from_chunks(name, _strided_chunks(
+        n, seed, stride=stride, array_bytes=array_bytes, gap=gap))
+
+
+# -- hash_probe ----------------------------------------------------------------
+
+def _hash_probe_chunks(n: int, seed: int, table_blocks: int = 65536,
+                       alpha: float = 0.6, rerun: float = 0.3,
+                       burst: int = 64,
+                       gap: int = 5) -> Iterator[TraceChunk]:
+    rng = _rng(seed)
     pc = _pc(0)
-    for _ in range(n):
-        builder.add(pc, _region(0) + off, gap=gap)
-        off = (off + stride) % array_bytes
-    return builder.build()
+    base = _region(0)
+    history: List[np.ndarray] = []
+    emitted = 0
+    while emitted < n:
+        if history and rng.random() < rerun:
+            # Replay one past probe burst in full (a re-issued query).
+            probe = history[int(rng.integers(0, len(history)))]
+        else:
+            probe = np.asarray(_zipf_indices(rng, burst, table_blocks,
+                                             alpha), dtype=np.int64)
+            history.append(probe)
+            if len(history) > 16:
+                history.pop(0)
+        take = min(len(probe), n - emitted)
+        yield make_chunk(np.full(take, pc, dtype=np.int64),
+                         base + probe[:take] * 64, gap=gap)
+        emitted += take
 
 
 def hash_probe(name: str, n: int, seed: int, table_blocks: int = 65536,
@@ -174,28 +320,39 @@ def hash_probe(name: str, n: int, seed: int, table_blocks: int = 65536,
     fresh Zipf noise.  Temporal prefetchers get moderate-but-real utility
     here, which exercises utility-aware metadata management.
     """
+    return Trace.from_chunks(name, _hash_probe_chunks(
+        n, seed, table_blocks=table_blocks, alpha=alpha, rerun=rerun,
+        burst=burst, gap=gap))
+
+
+# -- scan_mix ------------------------------------------------------------------
+
+def _scan_mix_chunks(n: int, seed: int, nodes: int = 16384,
+                     scan_fraction: float = 0.4, scan_bytes: int = 1 << 24,
+                     gap: int = 5) -> Iterator[TraceChunk]:
+    del scan_bytes  # the scan runs off the end of any finite window
     rng = _rng(seed)
-    builder = TraceBuilder(name)
-    pc = _pc(0)
-    base = _region(0)
-    history: List[List[int]] = []
-    emitted = 0
-    while emitted < n:
-        if history and rng.random() < rerun:
-            # Replay one past probe burst in full (a re-issued query).
-            chunk = history[int(rng.integers(0, len(history)))]
+    perm = rng.permutation(nodes).astype(np.int64)
+    period = max(2, int(round(1.0 / max(scan_fraction, 1e-6))))
+    chase_base, scan_base = _region(0), _region(1)
+    pc_chase, pc_scan = _pc(0), _pc(1)
+    for lo in range(0, n, CHUNK_RECORDS):
+        hi = min(n, lo + CHUNK_RECORDS)
+        i = np.arange(lo, hi, dtype=np.int64)
+        if scan_fraction > 0:
+            scan = (i % period) == 0
+            # Chase position = number of prior chase accesses; prior
+            # scans among [0, i) number ceil(i / period).
+            pos = (i - (i + period - 1) // period) % nodes
+            addrs = np.where(scan, scan_base + 64 * (i // period),
+                             chase_base + perm[pos] * 64)
+            yield make_chunk(np.where(scan, pc_scan, pc_chase), addrs,
+                             deps=~scan, gap=gap)
         else:
-            chunk = [int(i) for i in _zipf_indices(
-                rng, burst, table_blocks, alpha)]
-            history.append(chunk)
-            if len(history) > 16:
-                history.pop(0)
-        for i in chunk:
-            builder.add(pc, base + i * 64, gap=gap)
-            emitted += 1
-            if emitted >= n:
-                break
-    return builder.build()
+            addrs = chase_base + perm[i % nodes] * 64
+            yield make_chunk(np.full(hi - lo, pc_chase, dtype=np.int64),
+                             addrs, deps=np.ones(hi - lo, dtype=np.bool_),
+                             gap=gap)
 
 
 def scan_mix(name: str, n: int, seed: int, nodes: int = 16384,
@@ -208,69 +365,108 @@ def scan_mix(name: str, n: int, seed: int, nodes: int = 16384,
     bypassing handles this; Streamline (per the paper) does not, which is
     why Triangel wins on mcf.
     """
+    return Trace.from_chunks(name, _scan_mix_chunks(
+        n, seed, nodes=nodes, scan_fraction=scan_fraction,
+        scan_bytes=scan_bytes, gap=gap))
+
+
+# -- stencil_sweep -------------------------------------------------------------
+
+def _stencil_sweep_chunks(n: int, seed: int, grid_blocks: int = 8192,
+                          arrays: int = 4, jitter: float = 0.0,
+                          gap: int = 3) -> Iterator[TraceChunk]:
     rng = _rng(seed)
-    perm = rng.permutation(nodes)
-    builder = TraceBuilder(name)
-    pos = 0
-    scan_off = 0
-    scan_period = max(2, int(round(1.0 / max(scan_fraction, 1e-6))))
-    pc_chase, pc_scan = _pc(0), _pc(1)
-    for i in range(n):
-        if scan_fraction > 0 and i % scan_period == 0:
-            builder.add(pc_scan, _region(1) + scan_off, gap=gap)
-            scan_off += 64  # always-new blocks: no temporal reuse
-        else:
-            builder.add(pc_chase, _region(0) + int(perm[pos]) * 64,
-                        gap=gap, dep=True)
-            pos = (pos + 1) % nodes
-    return builder.build()
+    a_idx = np.arange(arrays, dtype=np.int64)
+    regions = _regions(a_idx)
+    pcs = _pcs(a_idx)
+    # Spans aligned to whole sweep iterations (`arrays` records each) so
+    # each iteration's grid index is drawn exactly once, in order.
+    span = max(arrays, CHUNK_RECORDS - CHUNK_RECORDS % arrays)
+
+    def grid_idx(i0: int, i1: int) -> np.ndarray:
+        if jitter:
+            out = np.empty(i1 - i0, dtype=np.int64)
+            for j in range(i0, i1):
+                v = j % grid_blocks
+                if rng.random() < jitter:
+                    v = int(rng.integers(0, grid_blocks))
+                out[j - i0] = v
+            return out
+        return np.arange(i0, i1, dtype=np.int64) % grid_blocks
+
+    for lo in range(0, n, span):
+        hi = min(n, lo + span)
+        e = np.arange(lo, hi, dtype=np.int64)
+        it = e // arrays
+        a = e % arrays
+        i0 = lo // arrays
+        idx = grid_idx(i0, int(it[-1]) + 1)
+        yield make_chunk(pcs[a], regions[a] + idx[it - i0] * 64,
+                         writes=(a == arrays - 1), gap=gap)
 
 
 def stencil_sweep(name: str, n: int, seed: int, grid_blocks: int = 8192,
                   arrays: int = 4, jitter: float = 0.0,
                   gap: int = 3) -> Trace:
     """Repeated sweeps over a grid touching several co-indexed arrays."""
-    rng = _rng(seed)
-    builder = TraceBuilder(name)
-    i = 0
-    emitted = 0
-    while emitted < n:
-        idx = i % grid_blocks
-        if jitter and rng.random() < jitter:
-            idx = int(rng.integers(0, grid_blocks))
-        for a in range(arrays):
-            builder.add(_pc(a), _region(a) + idx * 64,
-                        is_write=(a == arrays - 1), gap=gap)
-            emitted += 1
-            if emitted >= n:
-                break
-        i += 1
-    return builder.build()
+    return Trace.from_chunks(name, _stencil_sweep_chunks(
+        n, seed, grid_blocks=grid_blocks, arrays=arrays, jitter=jitter,
+        gap=gap))
+
+
+# -- phased --------------------------------------------------------------------
+
+def _phased_chunks(n: int, seed: int,
+                   phases: Optional[Sequence[str]] = None,
+                   gap: int = 4) -> Iterator[TraceChunk]:
+    kinds = list(phases or ["chase", "stream"])
+    base_len = n // len(kinds)
+    for k, kind in enumerate(kinds):
+        # Last phase absorbs the remainder so len(trace) == n exactly.
+        per_phase = base_len if k < len(kinds) - 1 else n - base_len * (
+            len(kinds) - 1)
+        if kind == "chase":
+            sub: Iterator[TraceChunk] = _pointer_chase_chunks(
+                per_phase, seed + k, nodes=12288, gap=gap)
+        elif kind == "stream":
+            sub = _stream_chunks(per_phase, seed + k, gap=gap)
+        elif kind == "hash":
+            sub = _hash_probe_chunks(per_phase, seed + k,
+                                     table_blocks=20480, alpha=0.5,
+                                     rerun=0.5, gap=gap)
+        else:
+            raise ValueError(f"unknown phase kind {kind!r}")
+        # Shift each phase's PCs/regions so phases don't share state.
+        yield from _only_chunks(shift(
+            sub, pc_offset=0x1000 * k,
+            addr_offset=k << (REGION_BITS + 4)))
 
 
 def phased(name: str, n: int, seed: int,
            phases: Optional[Sequence[str]] = None, gap: int = 4) -> Trace:
     """Alternate between archetype phases (tests dynamic partitioning)."""
-    phases = list(phases or ["chase", "stream"])
-    base_len = n // len(phases)
-    builder = TraceBuilder(name)
-    for k, kind in enumerate(phases):
-        # Last phase absorbs the remainder so len(trace) == n exactly.
-        per_phase = base_len if k < len(phases) - 1 else n - base_len * (
-            len(phases) - 1)
-        if kind == "chase":
-            sub = pointer_chase(name, per_phase, seed + k, nodes=12288,
-                                gap=gap)
-        elif kind == "stream":
-            sub = stream(name, per_phase, seed + k, gap=gap)
-        elif kind == "hash":
-            sub = hash_probe(name, per_phase, seed + k,
-                             table_blocks=20480, alpha=0.5, rerun=0.5,
-                             gap=gap)
-        else:
-            raise ValueError(f"unknown phase kind {kind!r}")
-        for pc, addr, w, g, d in sub:
-            # Shift each phase's PCs/regions so phases don't share state.
-            builder.add(pc + 0x1000 * k, addr + (k << (REGION_BITS + 4)),
-                        w, g, d)
-    return builder.build()
+    return Trace.from_chunks(name, _phased_chunks(
+        n, seed, phases=phases, gap=gap))
+
+
+def _normalized(fn: Callable[..., Iterator[TraceChunk]]
+                ) -> Callable[..., Iterator[TraceChunk]]:
+    """Wrap a producer so consumers see uniform CHUNK_RECORDS chunks."""
+
+    def wrapped(n: int, seed: int, **kwargs) -> Iterator[TraceChunk]:
+        return _only_chunks(rechunk(fn(n, seed, **kwargs), CHUNK_RECORDS))
+
+    wrapped.__name__ = fn.__name__
+    return wrapped
+
+
+CHUNK_GENERATORS.update({
+    "pointer_chase": _normalized(_pointer_chase_chunks),
+    "graph_sweep": _normalized(_graph_sweep_chunks),
+    "stream": _normalized(_stream_chunks),
+    "strided": _normalized(_strided_chunks),
+    "hash_probe": _normalized(_hash_probe_chunks),
+    "scan_mix": _normalized(_scan_mix_chunks),
+    "stencil_sweep": _normalized(_stencil_sweep_chunks),
+    "phased": _normalized(_phased_chunks),
+})

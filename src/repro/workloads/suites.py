@@ -6,102 +6,98 @@ is, how much it repeats, how big its footprint is, and whether it mixes
 in scans or regular phases.  The names keep the original benchmark names
 (prefixed by suite) so the harness output reads like the paper's figures.
 
-``make(name, n)`` builds a workload's trace; ``suite(suite_name)`` lists
-its members.  The memory-intensive filter of the paper (>1 LLC MPKI) is
-implemented in :mod:`repro.experiments.common` by actually measuring
-MPKI on the no-prefetcher baseline.
+``make(name, n)`` builds a workload's trace in memory;
+``make_chunks(name, n)`` yields the same records as a constant-memory
+columnar chunk stream (the form ``repro.tracestream`` persists and
+replays).  ``suite(suite_name)`` lists a suite's members.  The
+memory-intensive filter of the paper (>1 LLC MPKI) is implemented in
+:mod:`repro.experiments.common` by actually measuring MPKI on the
+no-prefetcher baseline.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Dict, Iterator, List, Tuple
 
 from ..sim.trace import Trace
+from ..tracestream.chunk import TraceChunk
 from . import base
 
-Factory = Callable[[str, int, int], Trace]
+#: A workload spec: (archetype name in :mod:`.base`, keyword overrides).
+Spec = Tuple[str, Dict[str, Any]]
 
 
-def _spec06() -> Dict[str, Factory]:
+def _spec06() -> Dict[str, Spec]:
     return {
         # Heavily irregular pointer codes.
-        "06.mcf": lambda nm, n, s: base.scan_mix(
-            nm, n, s, nodes=16384, scan_fraction=0.35),
-        "06.omnetpp": lambda nm, n, s: base.pointer_chase(
-            nm, n, s, nodes=8192, n_lists=2, mutate_every=4096),
-        "06.xalancbmk": lambda nm, n, s: base.pointer_chase(
-            nm, n, s, nodes=7168, n_lists=2, mutate_every=0),
-        "06.soplex": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=6144, arrays=3, jitter=0.08),
-        "06.sphinx3": lambda nm, n, s: base.hash_probe(
-            nm, n, s, table_blocks=16384, alpha=0.9, rerun=0.45,
-            burst=192),
-        "06.gcc": lambda nm, n, s: base.phased(
-            nm, n, s, phases=["chase", "hash"]),
+        "06.mcf": ("scan_mix", dict(nodes=16384, scan_fraction=0.35)),
+        "06.omnetpp": ("pointer_chase",
+                       dict(nodes=8192, n_lists=2, mutate_every=4096)),
+        "06.xalancbmk": ("pointer_chase",
+                         dict(nodes=7168, n_lists=2, mutate_every=0)),
+        "06.soplex": ("stencil_sweep",
+                      dict(grid_blocks=6144, arrays=3, jitter=0.08)),
+        "06.sphinx3": ("hash_probe",
+                       dict(table_blocks=16384, alpha=0.9, rerun=0.45,
+                            burst=192)),
+        "06.gcc": ("phased", dict(phases=["chase", "hash"])),
         # Regular / streaming codes: stride prefetching already covers.
-        "06.lbm": lambda nm, n, s: base.stream(nm, n, s, arrays=4),
-        "06.libquantum": lambda nm, n, s: base.stream(
-            nm, n, s, arrays=1, stride=16),
-        "06.milc": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=5120, arrays=4, jitter=0.0),
-        "06.bzip2": lambda nm, n, s: base.strided(
-            nm, n, s, stride=128, array_bytes=1 << 21),
-        "06.leslie3d": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=7168, arrays=3, jitter=0.02),
-        "06.GemsFDTD": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=5120, arrays=5, jitter=0.0),
-        "06.zeusmp": lambda nm, n, s: base.stream(
-            nm, n, s, arrays=3, stride=16),
+        "06.lbm": ("stream", dict(arrays=4)),
+        "06.libquantum": ("stream", dict(arrays=1, stride=16)),
+        "06.milc": ("stencil_sweep",
+                    dict(grid_blocks=5120, arrays=4, jitter=0.0)),
+        "06.bzip2": ("strided", dict(stride=128, array_bytes=1 << 21)),
+        "06.leslie3d": ("stencil_sweep",
+                        dict(grid_blocks=7168, arrays=3, jitter=0.02)),
+        "06.GemsFDTD": ("stencil_sweep",
+                        dict(grid_blocks=5120, arrays=5, jitter=0.0)),
+        "06.zeusmp": ("stream", dict(arrays=3, stride=16)),
     }
 
 
-def _spec17() -> Dict[str, Factory]:
+def _spec17() -> Dict[str, Spec]:
     return {
-        "17.mcf": lambda nm, n, s: base.scan_mix(
-            nm, n, s, nodes=14336, scan_fraction=0.25),
-        "17.omnetpp": lambda nm, n, s: base.pointer_chase(
-            nm, n, s, nodes=10240, n_lists=2, mutate_every=8192),
-        "17.xalancbmk": lambda nm, n, s: base.pointer_chase(
-            nm, n, s, nodes=8192, n_lists=2, mutate_every=2048),
-        "17.gcc": lambda nm, n, s: base.phased(
-            nm, n, s, phases=["chase", "stream", "hash"]),
-        "17.cactuBSSN": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=4096, arrays=5, jitter=0.05),
-        "17.fotonik3d": lambda nm, n, s: base.stream(
-            nm, n, s, arrays=5, stride=8),
-        "17.roms": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=6144, arrays=3, jitter=0.0),
-        "17.xz": lambda nm, n, s: base.hash_probe(
-            nm, n, s, table_blocks=24576, alpha=0.7, rerun=0.35,
-            burst=128),
-        "17.lbm": lambda nm, n, s: base.stream(
-            nm, n, s, arrays=4, stride=8),
-        "17.bwaves": lambda nm, n, s: base.stencil_sweep(
-            nm, n, s, grid_blocks=8192, arrays=2, jitter=0.0),
+        "17.mcf": ("scan_mix", dict(nodes=14336, scan_fraction=0.25)),
+        "17.omnetpp": ("pointer_chase",
+                       dict(nodes=10240, n_lists=2, mutate_every=8192)),
+        "17.xalancbmk": ("pointer_chase",
+                         dict(nodes=8192, n_lists=2, mutate_every=2048)),
+        "17.gcc": ("phased", dict(phases=["chase", "stream", "hash"])),
+        "17.cactuBSSN": ("stencil_sweep",
+                         dict(grid_blocks=4096, arrays=5, jitter=0.05)),
+        "17.fotonik3d": ("stream", dict(arrays=5, stride=8)),
+        "17.roms": ("stencil_sweep",
+                    dict(grid_blocks=6144, arrays=3, jitter=0.0)),
+        "17.xz": ("hash_probe",
+                  dict(table_blocks=24576, alpha=0.7, rerun=0.35,
+                       burst=128)),
+        "17.lbm": ("stream", dict(arrays=4, stride=8)),
+        "17.bwaves": ("stencil_sweep",
+                      dict(grid_blocks=8192, arrays=2, jitter=0.0)),
     }
 
 
-def _gap() -> Dict[str, Factory]:
+def _gap() -> Dict[str, Spec]:
     return {
-        "gap.pr": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=2304, avg_degree=6, stable_order=True),
-        "gap.cc": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=2048, avg_degree=6, stable_order=True),
-        "gap.bfs": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=2304, avg_degree=6, stable_order=False,
-            perturbation=0.08),
-        "gap.sssp": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=1792, avg_degree=8, stable_order=False,
-            perturbation=0.12),
-        "gap.bc": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=1792, avg_degree=8, stable_order=False,
-            perturbation=0.05),
-        "gap.tc": lambda nm, n, s: base.graph_sweep(
-            nm, n, s, vertices=1536, avg_degree=10, stable_order=True),
+        "gap.pr": ("graph_sweep",
+                   dict(vertices=2304, avg_degree=6, stable_order=True)),
+        "gap.cc": ("graph_sweep",
+                   dict(vertices=2048, avg_degree=6, stable_order=True)),
+        "gap.bfs": ("graph_sweep",
+                    dict(vertices=2304, avg_degree=6, stable_order=False,
+                         perturbation=0.08)),
+        "gap.sssp": ("graph_sweep",
+                     dict(vertices=1792, avg_degree=8, stable_order=False,
+                          perturbation=0.12)),
+        "gap.bc": ("graph_sweep",
+                   dict(vertices=1792, avg_degree=8, stable_order=False,
+                        perturbation=0.05)),
+        "gap.tc": ("graph_sweep",
+                   dict(vertices=1536, avg_degree=10, stable_order=True)),
     }
 
 
-_REGISTRY: Dict[str, Factory] = {}
+_REGISTRY: Dict[str, Spec] = {}
 _SUITES: Dict[str, List[str]] = {}
 for _suite_name, _table in (("spec06", _spec06()), ("spec17", _spec17()),
                             ("gap", _gap())):
@@ -133,11 +129,27 @@ def suite_of(name: str) -> str:
     raise ValueError(f"unknown workload {name!r}")
 
 
-def make(name: str, n: int, seed: int = DEFAULT_SEED) -> Trace:
-    """Build the trace for one workload."""
+def _spec(name: str) -> Spec:
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         raise ValueError(f"unknown workload {name!r}; "
                          f"choose from {names()}") from None
-    return factory(name, n, seed)
+
+
+def make(name: str, n: int, seed: int = DEFAULT_SEED) -> Trace:
+    """Build the trace for one workload."""
+    archetype, kwargs = _spec(name)
+    return getattr(base, archetype)(name, n, seed, **kwargs)
+
+
+def make_chunks(name: str, n: int,
+                seed: int = DEFAULT_SEED) -> Iterator[TraceChunk]:
+    """One workload's records as a constant-memory chunk stream.
+
+    Yields the exact records of ``make(name, n, seed)`` (bit-identical
+    columns) without ever materializing the whole trace — the source for
+    :meth:`repro.tracestream.store.TraceStore.put`.
+    """
+    archetype, kwargs = _spec(name)
+    return base.CHUNK_GENERATORS[archetype](n, seed, **kwargs)

@@ -96,3 +96,89 @@ def test_builder_extend():
     a.extend(b)
     t = a.build()
     assert len(t) == 2 and list(t)[1][0] == 2
+
+
+# -- persistence and chunk-boundary edges ----------------------------------
+
+
+def ramp_trace(n: int, name: str = "ramp") -> Trace:
+    idx = np.arange(n, dtype=np.int64)
+    return Trace(name, 0x1000 + 4 * idx, 64 * idx, idx % 3 == 0,
+                 (idx % 7).astype(np.int32), idx % 5 == 0)
+
+
+def test_save_load_preserves_deps_exactly(tmp_path):
+    t = ramp_trace(100)
+    path = tmp_path / "deps.npz"
+    t.save(str(path))
+    loaded = Trace.load(str(path))
+    assert np.array_equal(loaded.deps, t.deps)
+    assert loaded.deps.any() and not loaded.deps.all()
+    assert loaded.deps.dtype == np.bool_
+
+
+def test_iter_from_at_chunk_boundaries():
+    from repro.sim.trace import ITER_CHUNK
+
+    n = ITER_CHUNK + 5
+    t = ramp_trace(n)
+    whole = list(t)
+    assert len(whole) == n
+    for start in (0, 1, ITER_CHUNK - 1, ITER_CHUNK, ITER_CHUNK + 1, n):
+        assert list(t.iter_from(start)) == whole[start:], start
+
+
+def test_slice_names_the_window():
+    t = ramp_trace(50)
+    s = t.slice(10, 20)
+    assert s.name == "ramp[10:20]"
+    assert list(s) == list(t)[10:20]
+
+
+def test_from_chunks():
+    t = ramp_trace(10)
+    empty = Trace.from_chunks("e", [])
+    assert len(empty) == 0 and list(empty) == []
+    one = Trace.from_chunks("one", [t.chunk_at(0, 10)])
+    assert list(one) == list(t)
+    many = Trace.from_chunks("many", [t.chunk_at(0, 4), t.chunk_at(4, 7),
+                                      t.chunk_at(7, 10)])
+    assert list(many) == list(t)
+
+
+class TinyBuilder(TraceBuilder):
+    CHUNK = 4  # tiny buffers so adds cross flush boundaries
+
+
+def test_builder_flushes_across_chunk_boundary():
+    b = TinyBuilder("tiny")
+    for i in range(11):  # 2 full buffers + partial
+        b.add(i, 64 * i, gap=i % 3, dep=(i % 2 == 0))
+        assert len(b) == i + 1
+    t = b.build()
+    assert list(t) == [(i, 64 * i, False, i % 3, i % 2 == 0)
+                       for i in range(11)]
+
+
+def test_builder_extend_merges_partial_buffers():
+    a, b = TinyBuilder("a"), TinyBuilder("b")
+    for i in range(6):
+        a.add(i, 64 * i)
+    for i in range(5):
+        b.add(100 + i, 6400 + 64 * i)
+    a.extend(b)
+    assert len(a) == 11
+    t = a.build()
+    assert [r[0] for r in t] == list(range(6)) + [100 + i
+                                                  for i in range(5)]
+
+
+def test_builder_add_chunk_interleaves_with_scalar_adds():
+    b = TinyBuilder("mix")
+    b.add(1, 64)
+    b.add_chunk(ramp_trace(6).chunk_at(0, 6))
+    b.add(2, 128)
+    t = b.build()
+    assert len(t) == 8
+    assert [r[0] for r in t] == \
+        [1] + [0x1000 + 4 * i for i in range(6)] + [2]

@@ -1,0 +1,508 @@
+"""Streaming trace pipeline: stages, marks, on-disk store, parity.
+
+The subsystem invariant (DESIGN.md "Streaming trace pipeline"): routing
+trace acquisition and replay through chunk streams — vectorized
+generators, transform stages, in-band marks, the mmap-backed
+:class:`~repro.tracestream.store.TraceStore` — is a pure execution
+strategy.  Every consumer sees record-for-record the same stream, and
+simulated results are **bit-identical** to the in-memory scalar path.
+These tests assert that for the stage algebra, the store round-trip
+(including corruption and races degrading to misses), the engine across
+workload archetypes × prefetchers, telemetry series, the in-band
+checkpoint-mark path, and the runner's knob plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import state_equal
+from repro.envknobs import env_dir, env_tristate
+from repro.runner import SimJob
+from repro.runner import traces as runner_traces
+from repro.runner.specs import spec
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine, run_single
+from repro.sim.trace import Trace, TraceSource
+from repro.telemetry import TelemetryConfig
+from repro.tracestream import chunk as tschunk
+from repro.tracestream import stages
+from repro.tracestream.chunk import (CHUNK_RECORDS, MARK_CKPT, Mark,
+                                     TraceChunk, concat_chunks,
+                                     make_chunk)
+from repro.tracestream.store import (StreamingTrace, TraceStore,
+                                     default_root, entry_key)
+from repro.workloads import make, make_chunks
+
+
+def ramp_chunk(n: int, base: int = 0) -> TraceChunk:
+    """A deterministic chunk whose columns encode absolute positions."""
+    idx = np.arange(base, base + n, dtype=np.int64)
+    return make_chunk(pcs=0x1000 + 4 * idx, addrs=64 * idx,
+                      writes=(idx % 3 == 0), gaps=(idx % 7).astype(np.int32),
+                      deps=(idx % 5 == 0))
+
+
+def ramp_stream(total: int, sizes):
+    pos = 0
+    for size in sizes:
+        take = min(size, total - pos)
+        if take <= 0:
+            return
+        yield ramp_chunk(take, base=pos)
+        pos += take
+
+
+def flat_addrs(stream) -> np.ndarray:
+    cols = [item.addrs for item in stream
+            if isinstance(item, TraceChunk)]
+    return np.concatenate(cols) if cols else np.empty(0, np.int64)
+
+
+# -- chunk primitives ------------------------------------------------------
+
+
+class TestChunk:
+    def test_make_chunk_casts_and_validates(self):
+        c = make_chunk(pcs=[1, 2], addrs=[64, 128], writes=[0, 1],
+                       gaps=[0, 3], deps=[1, 0])
+        assert len(c) == 2
+        assert [a.dtype for a in c] == [np.dtype(np.int64),
+                                        np.dtype(np.int64),
+                                        np.dtype(np.bool_),
+                                        np.dtype(np.int32),
+                                        np.dtype(np.bool_)]
+        with pytest.raises(ValueError, match="length"):
+            make_chunk(pcs=[1], addrs=[64, 128], writes=[0], gaps=[0],
+                       deps=[0])
+
+    def test_replace_and_slice(self):
+        c = ramp_chunk(10)
+        shifted = c.replace(addrs=c.addrs + 7)
+        assert np.array_equal(shifted.addrs, c.addrs + 7)
+        assert shifted.pcs is c.pcs  # untouched columns are shared
+        sub = c.slice(3, 7)
+        assert len(sub) == 4
+        assert np.array_equal(sub.addrs, c.addrs[3:7])
+
+    def test_concat_chunks(self):
+        parts = [ramp_chunk(4), ramp_chunk(3, base=4), ramp_chunk(2, base=7)]
+        whole = concat_chunks(parts)
+        assert len(whole) == 9
+        assert np.array_equal(whole.addrs, ramp_chunk(9).addrs)
+        assert len(concat_chunks([])) == 0
+
+
+# -- stage algebra ---------------------------------------------------------
+
+
+class TestStages:
+    def test_chunks_of_covers_source_in_order(self):
+        trace = make("06.lbm", 1000, 7)
+        got = concat_chunks(list(stages.chunks_of(trace, size=256)))
+        assert np.array_equal(got.addrs, trace.addrs)
+        tail = concat_chunks(list(stages.chunks_of(trace, start=900,
+                                                   size=256)))
+        assert np.array_equal(tail.addrs, trace.addrs[900:])
+
+    def test_bias_matches_scalar_fold(self):
+        region_bits, core = 20, 3
+        mask = (1 << region_bits) - 1
+        addrs = flat_addrs(stages.bias(ramp_stream(300, [128, 128, 128]),
+                                       core, region_bits))
+        want = (ramp_chunk(300).addrs & mask) | (core << region_bits)
+        assert np.array_equal(addrs, want)
+
+    def test_sample_phase_survives_chunk_boundaries(self):
+        # Record i survives iff i % every == 0 regardless of chunking.
+        for sizes in ([50, 50, 50], [1] * 150, [149, 1]):
+            addrs = flat_addrs(stages.sample(ramp_stream(150, sizes), 7))
+            assert np.array_equal(addrs, ramp_chunk(150).addrs[::7])
+
+    def test_slice_stream_matches_trace_slice(self):
+        trace = make("06.mcf", 2000, 7)
+        want = trace.slice(300, 1500).addrs
+        got = flat_addrs(stages.slice_stream(
+            stages.chunks_of(trace, size=512), 300, 1500))
+        assert np.array_equal(got, want)
+
+    def test_interleave_round_robin(self):
+        a = [ramp_chunk(6)]
+        b = [ramp_chunk(20, base=100)]
+        out = [item.addrs.tolist() for item in
+               stages.interleave([iter(a), iter(b)], granularity=8)]
+        # a is exhausted after its first (partial) turn; b continues.
+        assert out[0] == ramp_chunk(6).addrs.tolist()
+        assert len(out[1]) == 8 and out[1][0] == 6400
+        assert sum(len(x) for x in out) == 26
+
+    def test_rechunk_normalizes_and_flushes_on_marks(self):
+        mark = Mark(MARK_CKPT, 5)
+        items = [ramp_chunk(3), mark, ramp_chunk(10, base=3)]
+        out = list(stages.rechunk(iter(items), size=4))
+        # The pending partial [0,3) flushed before the mark.
+        assert isinstance(out[0], TraceChunk) and len(out[0]) == 3
+        assert out[1] is mark
+        assert [len(c) for c in out[2:]] == [4, 4, 2]
+        assert np.array_equal(flat_addrs(out), ramp_chunk(13).addrs)
+        with pytest.raises(ValueError):
+            list(stages.rechunk(iter(items), size=0))
+
+    def test_insert_marks_splits_at_exact_positions(self):
+        marks = [Mark(MARK_CKPT, 4), Mark(MARK_CKPT, 10),
+                 Mark(MARK_CKPT, 99)]
+        out = list(stages.insert_marks(ramp_stream(12, [8, 8]), marks))
+        kinds = [len(i) if isinstance(i, TraceChunk) else i
+                 for i in out]
+        assert kinds == [4, marks[0], 4, 2, marks[1], 2, marks[2]]
+        assert np.array_equal(flat_addrs(out), ramp_chunk(12).addrs)
+
+    def test_insert_marks_base_offsets_absolute_positions(self):
+        trace = make("06.lbm", 400, 7)
+        marks = [Mark(MARK_CKPT, 300)]
+        out = list(stages.insert_marks(
+            stages.chunks_of(trace, start=256, size=128), marks,
+            base=256))
+        assert [len(i) if isinstance(i, TraceChunk) else i
+                for i in out] == [44, marks[0], 84, 16]
+
+    def test_records_fires_marks_between_the_right_records(self):
+        fired = []
+        seen = 0
+        stream = stages.insert_marks(ramp_stream(20, [16, 16]),
+                                     [Mark(MARK_CKPT, 13)])
+        for _rec in stages.records(
+                stream, on_mark=lambda m: fired.append((m, seen))):
+            seen += 1
+        assert fired == [(Mark(MARK_CKPT, 13), 13)]
+        assert seen == 20
+
+    def test_periodic_marks_cadence_and_validation(self):
+        got = stages.periodic_marks(100, 50, 260, MARK_CKPT)
+        assert [m.position for m in got] == [150, 200, 250]
+        with pytest.raises(ValueError):
+            stages.periodic_marks(0, 0, 10, MARK_CKPT)
+
+    def test_to_trace_and_stream_length(self):
+        t = stages.to_trace("r", ramp_stream(30, [16, 16]))
+        assert isinstance(t, Trace) and len(t) == 30
+        assert stages.stream_length(ramp_stream(30, [16, 16])) == 30
+
+
+# -- on-disk store ---------------------------------------------------------
+
+
+#: Small store chunks so a test-sized trace spans several files.
+STORE_CHUNK = 1024
+
+
+@pytest.fixture()
+def store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    return TraceStore(chunk_records=STORE_CHUNK)
+
+
+class TestTraceStore:
+    CHUNK = STORE_CHUNK
+
+    def put(self, store, workload="gap.pr", n=5000, seed=7):
+        return store.put(workload, n, seed, make_chunks(workload, n, seed))
+
+    def test_round_trip_is_record_identical(self, store):
+        replay = self.put(store)
+        direct = make("gap.pr", 5000, 7)
+        assert isinstance(replay, StreamingTrace)
+        assert isinstance(replay, TraceSource)
+        assert len(replay) == len(direct)
+        assert replay.instructions == direct.instructions
+        assert list(replay) == list(direct)
+        again = store.get("gap.pr", 5000, 7)
+        assert again is not None and list(again) == list(direct)
+
+    def test_columns_range_across_chunk_boundaries(self, store):
+        replay = self.put(store)
+        direct = make("gap.pr", 5000, 7)
+        for lo, hi in [(0, 10), (self.CHUNK - 3, self.CHUNK + 3),
+                       (2 * self.CHUNK, 2 * self.CHUNK),
+                       (4990, 5000)]:
+            got, want = replay.columns_range(lo, hi), \
+                direct.columns_range(lo, hi)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w), (lo, hi)
+        with pytest.raises(IndexError):
+            replay.columns_range(4990, 5001)
+
+    def test_iter_from_matches_trace(self, store):
+        replay = self.put(store)
+        direct = make("gap.pr", 5000, 7)
+        for start in (0, 1, self.CHUNK, self.CHUNK + 1, 4999, 5000):
+            assert list(replay.iter_from(start)) == \
+                list(direct.iter_from(start)), start
+
+    def test_put_length_mismatch_rejected(self, store):
+        with pytest.raises(ValueError, match="record"):
+            store.put("gap.pr", 6000, 7, make_chunks("gap.pr", 5000, 7))
+        assert store.get("gap.pr", 6000, 7) is None
+
+    def test_truncated_chunk_degrades_to_miss(self, store):
+        self.put(store)
+        entry = store.path_for("gap.pr", 5000, 7)
+        victim = entry / "c000001.addrs.npy"
+        victim.write_bytes(victim.read_bytes()[:100])
+        before = store.stats()["misses"]
+        assert store.get("gap.pr", 5000, 7) is None
+        assert store.stats()["misses"] == before + 1
+        assert not entry.exists()  # corrupt entry evicted
+
+    def test_verify_and_gc(self, store, tmp_path):
+        self.put(store)
+        entry = store.path_for("gap.pr", 5000, 7)
+        assert store.verify(entry) == []
+        # verify does full content digests: flip one byte in-place.
+        victim = entry / "c000000.gaps.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert store.verify(entry)
+        stale = store.root / ".tmp.stale"
+        stale.mkdir()
+        removed = store.gc()
+        assert entry in removed and stale in removed
+        assert store.entries() == []
+
+    def test_entry_key_is_filesystem_safe(self):
+        assert entry_key("gap.pr", 5000, 7) == "gap.pr-n5000-s7"
+        assert "/" not in entry_key("a/b c", 1, 2)
+
+    def test_default_root_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "t"))
+        assert default_root() == tmp_path / "t"
+
+
+# -- bit-identity against the in-memory path -------------------------------
+
+# Three archetypes (streaming regular, graph pointer-heavy, latency
+# bound) × two prefetchers, per the subsystem acceptance bar.
+PARITY_WORKLOADS = ["06.lbm", "gap.pr", "06.mcf"]
+PARITY_PREFETCHERS = ["streamline", "triangel"]
+
+
+def parity_config(**over):
+    over.setdefault("warmup_fraction", 0.5)
+    return dataclasses.replace(
+        SystemConfig().scaled_down(8).scaled(num_cores=1), **over)
+
+
+def replayed(store: TraceStore, workload: str, n: int) -> StreamingTrace:
+    return store.put(workload, n, 42, make_chunks(workload, n, 42))
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("workload", PARITY_WORKLOADS)
+    @pytest.mark.parametrize("pf", PARITY_PREFETCHERS)
+    def test_run_single_bit_identical(self, store, workload, pf):
+        n = 6000
+        mem = run_single(make(workload, n, 42), parity_config(),
+                         l2_prefetchers=[spec(pf).build])
+        stream = run_single(replayed(store, workload, n), parity_config(),
+                            l2_prefetchers=[spec(pf).build])
+        assert dataclasses.asdict(stream) == dataclasses.asdict(mem)
+
+    def test_telemetry_series_bit_identical(self, store):
+        n = 6000
+        tel = TelemetryConfig(interval=500)
+        series = []
+        for trace in (make("gap.pr", n, 42),
+                      replayed(store, "gap.pr", n)):
+            engine = Engine([trace], parity_config(telemetry=tel),
+                            l2_prefetchers=[spec("streamline").build])
+            engine.run()
+            engine.collect()
+            series.append(engine.telemetry.sampler.series())
+        assert series[0] == series[1]
+
+
+class TestInbandMarks:
+    def build(self, streams=None, n=8000):
+        trace = make("gap.pr", n, 42)
+        engine = Engine([trace], parity_config(),
+                        l2_prefetchers=[spec("streamline").build],
+                        streams=streams and [streams(trace)])
+        return trace, engine
+
+    def test_inband_marks_match_scalar_modulus_path(self):
+        # In-band (trace-backed single core) vs. scalar (external
+        # stream forces the modulus path): same firing positions, same
+        # snapshot states, same result.
+        snaps = {}
+        results = {}
+        for mode, streams in (("inband", None), ("scalar", iter)):
+            _trace, engine = self.build(streams)
+            taken = snaps[mode] = []
+            engine.set_mark_hook(
+                1000, lambda e, t=taken: t.append(e.state_dict()))
+            engine.run()
+            results[mode] = engine.collect()
+        assert len(snaps["inband"]) == len(snaps["scalar"]) > 0
+        for a, b in zip(snaps["inband"], snaps["scalar"]):
+            assert state_equal(a, b)
+        assert results["inband"] == results["scalar"]
+
+    def test_resume_skips_already_fired_marks(self):
+        # Restore at mark k: the continued run fires only marks > k and
+        # finishes bit-identical to the uninterrupted run.
+        _trace, engine = self.build()
+        snaps = []
+        engine.set_mark_hook(1000,
+                             lambda e: snaps.append(e.state_dict()))
+        straight = engine.run().collect()
+        _trace, fresh = self.build()
+        fired = []
+        fresh.set_mark_hook(1000, lambda e: fired.append(
+            e.state_dict()["counts"][0]))
+        fresh.load_state(snaps[1])
+        resumed = fresh.run().collect()
+        assert resumed == straight
+        assert fired == [s["counts"][0] for s in snaps[2:]]
+
+    def test_no_marks_without_warmup(self):
+        trace = make("gap.pr", 4000, 42)
+        engine = Engine([trace], parity_config(warmup_fraction=0.0),
+                        l2_prefetchers=[spec("streamline").build])
+        fired = []
+        engine.set_mark_hook(500, lambda e: fired.append(1))
+        engine.run()
+        assert fired == []
+
+
+# -- runner knob plumbing --------------------------------------------------
+
+
+@pytest.fixture()
+def streaming_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_TRACE_STREAM", "1")
+    runner_traces.clear()
+    yield tmp_path
+    runner_traces.clear()
+
+
+class TestRunnerKnobs:
+    def test_tristate_validation_names_the_variable(self, monkeypatch):
+        for raw, want in (("", None), ("auto", None), ("0", False),
+                          ("1", True)):
+            monkeypatch.setenv("REPRO_TRACE_STREAM", raw)
+            assert env_tristate("REPRO_TRACE_STREAM") is want
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "yes")
+        with pytest.raises(ValueError, match="REPRO_TRACE_STREAM"):
+            runner_traces.streaming_enabled()
+
+    def test_trace_dir_must_be_a_directory(self, tmp_path, monkeypatch):
+        f = tmp_path / "not-a-dir"
+        f.write_text("x")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(f))
+        with pytest.raises(ValueError, match="REPRO_TRACE_DIR"):
+            env_dir("REPRO_TRACE_DIR")
+
+    def test_get_trace_routes_through_store(self, streaming_env):
+        before = runner_traces.store_stats()
+        t1 = runner_traces.get_trace("gap.pr", 3000, 1234)
+        assert isinstance(t1, StreamingTrace)
+        t2 = runner_traces.get_trace("gap.pr", 3000, 1234)
+        assert t2 is t1  # per-process handle reuse, no recount
+        runner_traces.clear()
+        t3 = runner_traces.get_trace("gap.pr", 3000, 1234)
+        stats = runner_traces.store_stats()
+        assert stats["misses"] - before["misses"] == 1
+        assert stats["hits"] - before["hits"] == 1
+        assert list(t3) == list(make("gap.pr", 3000, 1234))
+
+    def test_streaming_off_returns_in_memory_trace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "0")
+        runner_traces.clear()
+        assert isinstance(runner_traces.get_trace("gap.pr", 2000, 1234),
+                          Trace)
+
+    def test_job_end_reports_store_deltas(self, streaming_env,
+                                          monkeypatch):
+        from repro.obs import runlog
+        monkeypatch.setenv("REPRO_OBS", "1")
+        log = runlog.RunLog("t", streaming_env / "obs" / "t")
+        writer = log.parent_writer()
+        runlog.install(writer)
+        try:
+            job = SimJob.single("gap.pr", 4000, parity_config(),
+                                l2=["streamline"])
+            job.execute()
+        finally:
+            writer.close()
+            runlog.install(None)
+        records = runlog.load_runlog(log.merge())
+        ends = [r for r in records if r["event"] == "job_end"]
+        assert len(ends) == 1
+        assert ends[0]["trace_store"] == {"hits": 0, "misses": 1}
+
+    def test_job_results_identical_across_knob(self, tmp_path,
+                                               monkeypatch):
+        def run():
+            runner_traces.clear()
+            return SimJob.single("gap.pr", 5000, parity_config(),
+                                 l2=["triangel"]).execute().single
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "0")
+        plain = run()
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "1")
+        streamed = run()
+        runner_traces.clear()
+        assert dataclasses.asdict(streamed) == dataclasses.asdict(plain)
+        # The strategy knob is excluded from fingerprints (pure
+        # execution detail, like config.fastpath).
+        job = SimJob.single("gap.pr", 5000, parity_config(),
+                            l2=["triangel"])
+        assert "TRACE_STREAM" not in json.dumps(job.canonical())
+
+    def test_warm_checkpoint_resume_parity_across_knob(
+            self, tmp_path, monkeypatch):
+        # Straight in-memory run vs. a streamed run restored from its
+        # own mid-run progress mark: bit-identical results.
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "ckpt"))
+        monkeypatch.setenv("REPRO_CKPT", "1")
+        monkeypatch.setenv("REPRO_CKPT_MARK", "1000")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+
+        def job():
+            return SimJob.single("gap.pr", 8000, parity_config(),
+                                 l2=["streamline"], resume=True)
+
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "0")
+        runner_traces.clear()
+        straight = job().execute().single
+
+        monkeypatch.setenv("REPRO_TRACE_STREAM", "1")
+        runner_traces.clear()
+        from repro.checkpoint import CheckpointStore
+        marks = []
+        engine = job()._build_engine()
+        engine.set_mark_hook(1000,
+                             lambda e: marks.append(e.state_dict()))
+        engine.run()
+        CheckpointStore(tmp_path / "ckpt").put(
+            "p-" + job().fingerprint(), marks[len(marks) // 2],
+            {"phase": "progress"})
+        resumed = job().execute().single
+        runner_traces.clear()
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(straight)
+
+
+# -- module sanity ---------------------------------------------------------
+
+
+def test_chunk_module_exports():
+    assert tschunk.CHUNK_RECORDS == CHUNK_RECORDS
+    assert TraceChunk._fields == ("pcs", "addrs", "writes", "gaps",
+                                  "deps")

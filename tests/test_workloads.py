@@ -1,5 +1,9 @@
 """Tests for the synthetic workload suites and mixes."""
 
+import hashlib
+import json
+import pathlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -147,3 +151,58 @@ def test_any_workload_any_length(wl, n):
     assert len(t) == n
     assert (t.addrs >= 0).all()
     assert t.instructions >= n
+
+
+# -- pinned generator output ------------------------------------------------
+#
+# The generators were rewritten from per-record scalar loops into
+# vectorized chunk producers; these digests were captured from the
+# scalar implementations and pin the output bit-for-bit (same rng call
+# order, same dtypes).  A mismatch means the change alters traces —
+# and therefore every simulated figure built from them.
+
+HASH_FILE = pathlib.Path(__file__).parent / "data" / "workload_hashes.json"
+
+
+def trace_digest(t) -> str:
+    h = hashlib.sha256()
+    for arr in (t.pcs, t.addrs, t.writes, t.gaps, t.deps):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def pinned():
+    return json.loads(HASH_FILE.read_text())
+
+
+class TestPinnedDigests:
+    @pytest.mark.parametrize("workload", sorted(names()))
+    @pytest.mark.parametrize("n", [777, 3000])
+    def test_registry_traces_match_pins(self, workload, n):
+        want = pinned()[f"{workload}:{n}:1234"]
+        assert trace_digest(make(workload, n, 1234)) == want
+
+    @pytest.mark.parametrize("n", [777, 3000])
+    def test_chunk_generators_match_pins(self, n):
+        # The streaming producers must emit the identical records the
+        # materializing path does — they feed the on-disk store.
+        from repro.sim.trace import Trace
+        from repro.workloads import make_chunks
+
+        book = pinned()
+        for workload in sorted(names()):
+            t = Trace.from_chunks(workload, make_chunks(workload, n, 1234))
+            assert trace_digest(t) == book[f"{workload}:{n}:1234"], \
+                workload
+
+    def test_archetype_kwargs_match_pins(self):
+        for key, want in pinned().items():
+            fn, sep, blob = key.partition(":{")
+            if not sep:
+                continue  # registry entry, covered above
+            kwargs = json.loads("{" + blob)
+            n, seed = kwargs.pop("n"), kwargs.pop("seed")
+            t = getattr(base, fn)("x", n, seed, **kwargs)
+            assert trace_digest(t) == want, key
