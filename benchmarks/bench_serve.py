@@ -1,0 +1,191 @@
+"""Serve smoke: sharded job-server byte-identity + cache-hit replies.
+
+Boots a two-instance in-process shard ring (real sockets, shared
+nothing — each instance owns its hash-mod slice of the fingerprint
+keyspace) and runs the quick fig9 matrix through
+:class:`repro.serve.client.ServeClient`.  Guarantees asserted every
+run:
+
+1. **Byte-identity** — every served :class:`JobResult` pickles to the
+   exact bytes a direct :class:`SimRunner` call produces (the wire
+   moves the same pickled payload the result cache stores).
+2. **Sharding is exclusive** — each instance executes exactly its
+   slice of the keyspace (out-of-shard posts are rejected to the owner
+   and re-routed by the client), and both instances see work.
+3. **Cache-hit replies** — resubmitting the identical batch executes
+   nothing: every reply comes straight from the result cache.
+4. **Clean shutdown** — both server threads stop and join.
+
+Run standalone: ``python benchmarks/bench_serve.py``
+"""
+
+import os
+import pathlib
+import pickle
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+#: workload x prefetcher slice of fig9 (quick set keeps CI fast).
+WORKLOADS = ("gap.pr", "06.lbm", "06.mcf")
+PREFETCHERS = ("triangel", "streamline")
+
+
+def _n() -> int:
+    n = int(os.environ.get("REPRO_N", "") or 60_000)
+    quick = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+    return min(n, 10_000) if quick else n
+
+
+def _jobs(n):
+    from repro.experiments.common import experiment_config
+    from repro.runner import SimJob, spec
+
+    cfg = experiment_config()
+    jobs = []
+    for wl in WORKLOADS:
+        jobs.append(SimJob.single(wl, n, cfg, l1="stride"))
+        for pf in PREFETCHERS:
+            jobs.append(SimJob.single(wl, n, cfg, l1="stride",
+                                      l2=(spec(pf),)))
+    return jobs
+
+
+def _ring():
+    """Two in-process instances sharing one shard map."""
+    from repro.runner import ResultCache, SimRunner
+    from repro.serve import (JobBroker, Server, ServerThread, ShardMap,
+                             pick_free_port)
+
+    ports = (pick_free_port(), pick_free_port())
+    urls = tuple(f"http://127.0.0.1:{p}" for p in ports)
+    threads = []
+    for index, port in enumerate(ports):
+        broker = JobBroker(runner=SimRunner(
+            cache=ResultCache(persistent=False)))
+        server = Server(broker, port=port,
+                        shard_map=ShardMap(urls=urls, index=index))
+        threads.append(ServerThread(server).start())
+    return urls, threads
+
+
+def _bytes(results):
+    return [pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)
+            for r in results]
+
+
+def _measure(n):
+    from repro.runner import ResultCache, SimRunner
+    from repro.serve import ServeClient, shard_of
+
+    jobs = _jobs(n)
+    fingerprints = [job.fingerprint() for job in jobs]
+
+    t0 = time.perf_counter()
+    direct = SimRunner(cache=ResultCache(persistent=False)).run(jobs)
+    direct_secs = time.perf_counter() - t0
+
+    urls, threads = _ring()
+    try:
+        client = ServeClient(urls[0], timeout=600.0)
+        t0 = time.perf_counter()
+        served = client.submit(jobs)
+        cold_secs = time.perf_counter() - t0
+        assert _bytes(served) == _bytes(direct), \
+            "served results are not byte-identical to the direct run"
+
+        split = [sum(1 for fp in set(fingerprints)
+                     if shard_of(fp, 2) == i) for i in range(2)]
+        executed = [ServeClient(u).stats()["broker"]["executed"]
+                    for u in urls]
+        assert executed == split, \
+            f"shard execution split {executed} != keyspace split {split}"
+        assert all(executed), "one instance never saw work"
+
+        t0 = time.perf_counter()
+        again = client.submit(jobs)
+        warm_secs = time.perf_counter() - t0
+        assert _bytes(again) == _bytes(direct), \
+            "cache-served results diverged from the direct run"
+        stats = [ServeClient(u).stats()["broker"] for u in urls]
+        assert [s["executed"] for s in stats] == split, \
+            "resubmission executed jobs instead of serving the cache"
+        hits = sum(s["cache_hits"] for s in stats)
+        assert hits == len(set(fingerprints)), \
+            f"expected {len(set(fingerprints))} cache-hit replies, " \
+            f"saw {hits}"
+    finally:
+        for thread in threads:
+            thread.stop()
+    for thread in threads:
+        assert thread._thread is None, "server thread did not join"
+
+    return {"jobs": len(jobs), "unique": len(set(fingerprints)),
+            "split": split, "direct_secs": round(direct_secs, 3),
+            "served_cold_secs": round(cold_secs, 3),
+            "served_warm_secs": round(warm_secs, 3)}
+
+
+def _lines(row, n):
+    return [
+        f"== serve smoke == (n={n}, {row['jobs']} jobs over a "
+        f"2-instance shard ring, byte-identical)",
+        f"  keyspace split      {row['split'][0]} / {row['split'][1]}",
+        f"  direct run          {row['direct_secs']:7.3f}s",
+        f"  served (cold)       {row['served_cold_secs']:7.3f}s",
+        f"  served (cache-hit)  {row['served_warm_secs']:7.3f}s",
+    ]
+
+
+def _persist(row, n):
+    import json
+
+    from _harness import RESULTS_DIR, SUMMARY, _atomic_write_json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"exp_id": "serve",
+              "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+              "n": n, "byte_identical": True, **row}
+    _atomic_write_json(RESULTS_DIR / "serve.json", record)
+    summary_path = RESULTS_DIR / SUMMARY
+    summary = {"schema": 1, "benches": {}}
+    if summary_path.is_file():
+        try:
+            loaded = json.loads(summary_path.read_text(encoding="utf-8"))
+            if isinstance(loaded.get("benches"), dict):
+                summary["benches"] = loaded["benches"]
+                summary["schema"] = loaded.get("schema", 1)
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt summary: rebuild from this run onward
+    summary["updated"] = record["timestamp"]
+    summary["benches"]["serve"] = {
+        "timestamp": record["timestamp"],
+        "wall_seconds": row["served_cold_secs"],
+        "warm_seconds": row["served_warm_secs"],
+    }
+    _atomic_write_json(summary_path, summary)
+
+
+def test_serve_smoke(benchmark):
+    n = _n()
+    row = benchmark.pedantic(lambda: _measure(n), rounds=1, iterations=1)
+    print()
+    print("\n".join(_lines(row, n)))
+    benchmark.extra_info.update(row)
+    _persist(row, n)
+
+
+def main() -> None:
+    n = _n()
+    row = _measure(n)
+    text = "\n".join(_lines(row, n)) + "\n"
+    print(text)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "serve.txt").write_text(text)
+    _persist(row, n)
+
+
+if __name__ == "__main__":
+    main()

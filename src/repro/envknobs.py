@@ -14,12 +14,16 @@ from __future__ import annotations
 import os
 
 
-def env_int(name: str, default: int, minimum: int = 1) -> int:
+def env_int(name: str, default: int, minimum: int = 1,
+            maximum: int = 0) -> int:
     """An integer knob; unset/empty means ``default``.
 
-    Values below ``minimum`` (and non-integers) raise ``ValueError``
-    with the variable named.
+    Values below ``minimum`` — and, when ``maximum`` is given, above it
+    (``REPRO_SERVE_PORT=70000`` is not a port) — and non-integers raise
+    ``ValueError`` with the variable named.
     """
+    bounds = f">= {minimum}" if not maximum \
+        else f"in [{minimum}, {maximum}]"
     raw = os.environ.get(name, "")
     if not raw:
         return default
@@ -27,11 +31,10 @@ def env_int(name: str, default: int, minimum: int = 1) -> int:
         value = int(raw)
     except ValueError:
         raise ValueError(
-            f"{name} must be an integer >= {minimum}, got {raw!r}") \
-            from None
-    if value < minimum:
+            f"{name} must be an integer {bounds}, got {raw!r}") from None
+    if value < minimum or (maximum and value > maximum):
         raise ValueError(
-            f"{name} must be an integer >= {minimum}, got {raw!r}")
+            f"{name} must be an integer {bounds}, got {raw!r}")
     return value
 
 
@@ -71,6 +74,57 @@ def env_dir(name: str):
             f"{name} must name a directory (existing or creatable), "
             f"got non-directory {raw!r}")
     return raw
+
+
+def _valid_url(raw: str) -> bool:
+    from urllib.parse import urlsplit
+    parts = urlsplit(raw)
+    return parts.scheme in ("http", "https") and bool(parts.hostname)
+
+
+def env_url(name: str):
+    """An HTTP base-URL knob: unset/empty/``0`` -> ``None`` (off).
+
+    This is the serve-client convention (``REPRO_SERVE_URL``): by
+    default everything executes in-process, ``0`` forces that
+    explicitly, and a value must be a well-formed ``http(s)://host[:port]``
+    base URL — anything else raises ``ValueError`` naming the variable,
+    instead of surfacing as a ``urllib`` traceback mid-experiment.
+    Trailing slashes are stripped so path joins are uniform.
+    """
+    raw = os.environ.get(name, "")
+    if raw in ("", "0"):
+        return None
+    if not _valid_url(raw):
+        raise ValueError(
+            f"{name} must be unset, '0', or an http(s)://host[:port] "
+            f"base URL, got {raw!r}")
+    return raw.rstrip("/")
+
+
+def env_url_list(name: str):
+    """A comma-separated HTTP URL-list knob: unset/empty -> ``None``.
+
+    This is the shard-ring convention (``REPRO_SERVE_SHARDS``): the full
+    ordered list of server base URLs that split the fingerprint
+    keyspace.  Every element must be a well-formed URL and the list must
+    not contain duplicates (two shard slots at one address cannot both
+    own their hash range) — violations raise ``ValueError`` naming the
+    variable.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return None
+    urls = tuple(part.strip().rstrip("/") for part in raw.split(","))
+    for url in urls:
+        if not _valid_url(url):
+            raise ValueError(
+                f"{name} must be a comma-separated list of "
+                f"http(s)://host[:port] base URLs, got element {url!r}")
+    if len(set(urls)) != len(urls):
+        raise ValueError(
+            f"{name} must not repeat an address, got {raw!r}")
+    return urls
 
 
 def env_flag(name: str, default: bool = False) -> bool:

@@ -19,11 +19,12 @@ out over a process pool.  Scale knobs come from the environment:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, \
+    Sequence, Tuple
 
 from ..envknobs import env_flag, env_int
-from ..runner import PrefetcherSpec, SimJob, SimRunner, as_spec, \
-    get_runner, spec
+from ..runner import JobResult, PrefetcherSpec, SimJob, SimRunner, \
+    as_spec, get_runner, spec
 from ..sim.config import SystemConfig
 from ..sim.stats import SimResult, format_table, geomean
 from ..telemetry import TelemetryConfig
@@ -31,6 +32,13 @@ from ..workloads import generate_mixes
 
 #: The experiments run on a 1/4-scale hierarchy (see DESIGN.md §4).
 SCALE_FACTOR = 4
+
+
+class JobRunner(Protocol):
+    """Anything that executes job batches in input order — the local
+    :class:`SimRunner` or the HTTP-backed :class:`repro.serve.ServeRunner`."""
+
+    def run(self, jobs: Sequence[SimJob]) -> List[JobResult]: ...
 
 #: A representative subset for quick runs: two chases, one scan-mix, one
 #: graph, one stream, one hash.
@@ -63,6 +71,20 @@ def quick_mode() -> bool:
 def telemetry_config() -> Optional[TelemetryConfig]:
     """The env-driven telemetry opt-in (None unless ``REPRO_TELEMETRY=1``)."""
     return TelemetryConfig.from_env()
+
+
+def serve_runner():
+    """A :class:`repro.serve.ServeRunner` when ``REPRO_SERVE_URL``
+    names a job server, else None (meaning: use the in-process default
+    runner, exactly as before the serve subsystem existed).
+
+    Routing through the server is a pure execution strategy — the URL
+    never enters job fingerprints, and served results are byte-identical
+    to direct runs — so experiments that accept a ``runner=`` argument
+    become thin clients with no change to what they compute.
+    """
+    from ..serve.client import ServeRunner
+    return ServeRunner.from_env()
 
 
 def experiment_config(num_cores: int = 1, **overrides) -> SystemConfig:
@@ -142,7 +164,7 @@ def run_matrix(workloads: Sequence[str], n: int,
                l1_factory=stride_l1,
                seed: int = 1234,
                probes: Sequence[str] = (),
-               runner: Optional[SimRunner] = None) -> List[SingleCoreRun]:
+               runner: Optional[JobRunner] = None) -> List[SingleCoreRun]:
     """Run baseline + each config on every workload (single core).
 
     ``configs`` maps display name -> prefetcher spec (or registry
@@ -189,7 +211,7 @@ def suite_geomeans(runs: Sequence[SingleCoreRun], config: str
 def irregular_subset(workloads: Sequence[str], n: int,
                      config: Optional[SystemConfig] = None,
                      headroom: float = 0.05, seed: int = 1234,
-                     runner: Optional[SimRunner] = None) -> List[str]:
+                     runner: Optional[JobRunner] = None) -> List[str]:
     """The paper's irregular subset: >=5% speedup headroom under an
     idealized Triage with unlimited metadata (Section V-A3).
 
@@ -223,7 +245,7 @@ def run_mixes(num_cores: int, mix_count: int, n_per_core: int,
               seed: int = 7,
               config: Optional[SystemConfig] = None,
               iso_config: Optional[SystemConfig] = None,
-              runner: Optional[SimRunner] = None
+              runner: Optional[JobRunner] = None
               ) -> Dict[str, List[float]]:
     """Weighted-speedup of each config over the stride baseline, per mix.
 

@@ -21,7 +21,8 @@ from typing import Any, Dict, Optional, Sequence
 from ..sim.stats import geomean
 from .common import (PREFETCHER_SPECS, ExperimentResult, env_n,
                      experiment_config, fmt, irregular_subset, run_matrix,
-                     suite_geomeans, telemetry_config, workload_set)
+                     serve_runner, suite_geomeans, telemetry_config,
+                     workload_set)
 
 
 def _timeliness(run, config: str) -> str:
@@ -41,16 +42,21 @@ def run(n: Optional[int] = None,
     n = n or env_n()
     workloads = list(workloads or workload_set("full"))
     tcfg = telemetry_config()
+    # With REPRO_SERVE_URL set, every batch goes through the job-server
+    # client instead of the in-process runner — same jobs, byte-identical
+    # results (see repro.serve) — making this figure a thin client.
+    runner = serve_runner()
     if tcfg is None:
-        runs = run_matrix(workloads, n, PREFETCHER_SPECS)
+        runs = run_matrix(workloads, n, PREFETCHER_SPECS, runner=runner)
     else:
         runs = run_matrix(
             workloads, n, PREFETCHER_SPECS,
             config=experiment_config().scaled(telemetry=tcfg),
-            probes=("telemetry",))
+            probes=("telemetry",), runner=runner)
     # Memory-intensive filter (paper: >1 LLC MPKI on the baseline).
     runs = [r for r in runs if r.baseline.llc_mpki > 1.0]
-    irregular = set(irregular_subset([r.workload for r in runs], n))
+    irregular = set(irregular_subset([r.workload for r in runs], n,
+                                     runner=runner))
 
     headers = ["workload", "subset", "triangel", "streamline"]
     if tcfg is not None:

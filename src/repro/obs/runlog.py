@@ -31,6 +31,7 @@ import json
 import os
 import pathlib
 import time
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
 from ..envknobs import env_flag
@@ -175,6 +176,74 @@ class RunLog:
             except OSError:
                 pass
         return merged
+
+
+class RunLogTailer:
+    """Incrementally read *new* records from every log under a root.
+
+    ``repro.serve`` streams per-job progress to HTTP clients by polling
+    this over the obs directory while the runner works: worker shards
+    are flushed per record, so ``job_start``/``job_end`` lines become
+    visible mid-run, long before the end-of-run merge.  The tailer
+    remembers a byte offset per file (only complete, newline-terminated
+    lines are consumed, mirroring the merge's torn-line tolerance) and
+    dedups by the ``(ts, pid, seq)`` envelope — the merge step rewrites
+    every shard record into ``runlog.jsonl``, and without the dedup a
+    late subscriber's history replay would double every event.
+    """
+
+    #: Bound on the dedup window; old keys are forgotten in FIFO order
+    #: (a record can only reappear shortly after it was first seen — at
+    #: merge time — so a modest window is plenty).
+    MAX_SEEN = 65536
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else obs_dir()
+        self._offsets: Dict[pathlib.Path, int] = {}
+        self._seen: "OrderedDict[tuple, None]" = OrderedDict()
+
+    def _record_key(self, record: Dict[str, Any]) -> tuple:
+        return (record.get("ts"), record.get("pid"), record.get("seq"))
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """All records that appeared since the last call, in
+        ``(ts, pid, seq)`` order.  Missing/vanished files (shards are
+        deleted by the merge) are simply dropped from tracking."""
+        records: List[Dict[str, Any]] = []
+        if not self.root.is_dir():
+            return records
+        paths = sorted(self.root.glob("*/*.jsonl"))
+        for stale in set(self._offsets) - set(paths):
+            del self._offsets[stale]
+        for path in paths:
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    data = fh.read()
+            except OSError:
+                continue  # deleted between glob and open
+            # Only consume complete lines; a torn tail is re-read whole
+            # on the next poll once the writer finishes it.
+            end = data.rfind(b"\n")
+            if end < 0:
+                continue
+            self._offsets[path] = offset + end + 1
+            for line in data[:end].splitlines():
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                key = self._record_key(record)
+                if key in self._seen:
+                    continue
+                self._seen[key] = None
+                while len(self._seen) > self.MAX_SEEN:
+                    self._seen.popitem(last=False)
+                records.append(record)
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("pid", 0),
+                                    r.get("seq", 0)))
+        return records
 
 
 def load_runlog(path: pathlib.Path) -> List[Dict[str, Any]]:

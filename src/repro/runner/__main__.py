@@ -1,0 +1,96 @@
+"""Runner-store maintenance CLI.
+
+``python -m repro.runner cache <command>`` mirrors the checkpoint and
+tracestream store CLIs for the on-disk result cache:
+
+* ``list``   — stored fingerprints with size and integrity status.
+* ``verify`` — sha256-verify one entry (or all of them).
+* ``gc``     — drop all but the N most recent entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cache import CacheCorrupt, ResultCache, default_cache_dir
+
+
+def cmd_list(cache: ResultCache, args) -> int:
+    fingerprints = cache.entries()
+    if not fingerprints:
+        print(f"no cached results under {cache.directory}")
+        return 0
+    print(f"{len(fingerprints)} cached result(s) under {cache.directory}")
+    for fingerprint in fingerprints:
+        try:
+            size_kb = cache.verify(fingerprint) / 1024.0
+            status = f"{size_kb:8.1f} KiB"
+        except FileNotFoundError:
+            status = "MISSING"
+        except CacheCorrupt:
+            status = "CORRUPT"
+        print(f"  {fingerprint}  {status}")
+    return 0
+
+
+def cmd_verify(cache: ResultCache, args) -> int:
+    fingerprints = [args.fingerprint] if args.fingerprint \
+        else cache.entries()
+    if not fingerprints:
+        print(f"no cached results under {cache.directory}")
+        return 0
+    bad = 0
+    for fingerprint in fingerprints:
+        try:
+            cache.verify(fingerprint)
+            print(f"  ok      {fingerprint}")
+        except FileNotFoundError:
+            print(f"  missing {fingerprint}", file=sys.stderr)
+            bad += 1
+        except CacheCorrupt as exc:
+            print(f"  CORRUPT {fingerprint}: {exc}", file=sys.stderr)
+            bad += 1
+    return 1 if bad else 0
+
+
+def cmd_gc(cache: ResultCache, args) -> int:
+    dropped = cache.gc(keep=args.keep)
+    print(f"dropped {len(dropped)} cached result(s), kept {args.keep}")
+    for fingerprint in dropped:
+        print(f"  {fingerprint}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Inspect and maintain the runner's stores.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cache = sub.add_parser("cache", help="the on-disk result cache")
+    p_cache.add_argument(
+        "--dir", default=None,
+        help=f"cache directory (default: {default_cache_dir()})")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_sub.add_parser("list", help="list cached results")
+
+    p_verify = cache_sub.add_parser("verify",
+                                    help="sha256-verify entries")
+    p_verify.add_argument("fingerprint", nargs="?", default=None,
+                          help="one fingerprint (default: every entry)")
+
+    p_gc = cache_sub.add_parser("gc", help="drop old entries")
+    p_gc.add_argument("--keep", type=int, default=0,
+                      help="most-recent entries to keep (default 0 = "
+                           "all dropped)")
+
+    args = parser.parse_args(argv)
+    cache = ResultCache(directory=args.dir, persistent=True)
+    handlers = {"list": cmd_list, "verify": cmd_verify, "gc": cmd_gc}
+    return handlers[args.cache_command](cache, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

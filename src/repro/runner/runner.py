@@ -91,7 +91,8 @@ class SimRunner:
                 list(pending.values()),
                 total=len(pending) + len(results),
                 memo_hits=after["memo_hits"] - before["memo_hits"],
-                disk_hits=after["disk_hits"] - before["disk_hits"])
+                disk_hits=after["disk_hits"] - before["disk_hits"],
+                evictions=after["evictions"] - before["evictions"])
             for fp, result in zip(pending, executed):
                 results[fp] = result
                 if not profiled:
@@ -99,8 +100,8 @@ class SimRunner:
         return [results[fp] for fp in fingerprints]
 
     def _execute(self, jobs: List[SimJob], total: Optional[int] = None,
-                 memo_hits: int = 0, disk_hits: int = 0) \
-            -> List[JobResult]:
+                 memo_hits: int = 0, disk_hits: int = 0,
+                 evictions: int = 0) -> List[JobResult]:
         total = len(jobs) if total is None else total
         log: Optional[obs_runlog.RunLog] = None
         writer: Optional[obs_runlog.RunLogWriter] = None
@@ -114,8 +115,12 @@ class SimRunner:
                         schema=obs_runlog.RUNLOG_SCHEMA_VERSION,
                         jobs=total, executed=len(jobs),
                         memo_hits=memo_hits, disk_hits=disk_hits,
-                        workers=workers,
+                        evictions=evictions, workers=workers,
                         profiled=obs_profile.enabled())
+            # Corrupt entries the batch's cache lookups evicted: one
+            # record each, so reports can name what was lost and why.
+            for evicted in self.cache.drain_evictions():
+                writer.emit("cache_evict", **evicted)
         line = ProgressLine(total, done=memo_hits + disk_hits)
         line.update(memo_hits=memo_hits, disk_hits=disk_hits,
                     ckpt_hits=ckpt_hits)

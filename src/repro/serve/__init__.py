@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: an async job server over the result cache.
+
+``python -m repro.serve`` promotes :mod:`repro.runner` from a library
+into a long-running service: a stdlib-only asyncio HTTP/JSON API that
+accepts :class:`~repro.runner.SimJob` batches in their canonical
+fingerprint JSON (:mod:`repro.serve.wire`), routes them through an
+async producer–consumer queue onto the existing process pool
+(:mod:`repro.serve.broker`), deduplicates in-flight work by
+fingerprint, serves cached results directly from the two-level result
+cache, and streams per-job progress from the :mod:`repro.obs` runlog
+to any number of concurrent clients (:mod:`repro.serve.server`).
+N instances split the fingerprint keyspace by config-declared hash-mod
+sharding and survive restarts via the on-disk result-cache and
+checkpoint stores.  :mod:`repro.serve.client` is the matching thin
+client (``REPRO_SERVE_URL`` re-points experiment drivers at it).
+
+Served results are byte-identical to direct :class:`SimRunner` calls —
+the wire moves the same pickled :class:`JobResult` payloads the cache
+stores — pinned by ``tests/test_serve.py``.  See DESIGN.md §8.
+"""
+
+from .broker import BrokerStats, JobBroker
+from .client import ServeClient, ServeRunner, ServeUnavailable, serve_url
+from .server import Server, ServerThread, pick_free_port, serve_forever
+from .wire import (WIRE_VERSION, ShardMap, WireError, job_from_wire,
+                   job_to_wire, result_from_wire, result_to_wire,
+                   shard_of)
+
+__all__ = ["BrokerStats", "JobBroker", "ServeClient", "ServeRunner",
+           "ServeUnavailable", "serve_url", "Server", "ServerThread",
+           "pick_free_port", "serve_forever", "WIRE_VERSION", "ShardMap",
+           "WireError", "job_from_wire", "job_to_wire",
+           "result_from_wire", "result_to_wire", "shard_of"]

@@ -1,0 +1,150 @@
+"""Serve CLI.
+
+``python -m repro.serve`` (no subcommand) runs a server:
+
+* ``--host`` / ``--port`` — bind address (``REPRO_SERVE_PORT`` sets the
+  default port; ``0`` asks the OS and prints the pick).
+* ``--shards a,b,...`` — the full shard ring (``REPRO_SERVE_SHARDS``
+  default).  This instance finds its slot by ``--shard-index``, or by
+  matching its own ``host:port`` against the ring.
+* ``--jobs`` — worker processes for this instance's ``SimRunner``.
+* ``--max-batch`` — queue drain bound per runner batch.
+
+``python -m repro.serve ping [URL]`` health-checks an instance (URL
+defaults to ``REPRO_SERVE_URL``), optionally waiting for it to come up
+— which is how the CI smoke step synchronizes with a server it just
+backgrounded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Optional
+
+from ..envknobs import env_int, env_url, env_url_list
+from ..runner.runner import SimRunner
+from .broker import JobBroker
+from .client import ServeClient, ServeUnavailable
+from .server import Server, serve_forever
+from .wire import ShardMap
+
+#: Default port when neither --port nor REPRO_SERVE_PORT says otherwise.
+DEFAULT_PORT = 8023
+
+
+def _shard_map(args) -> Optional[ShardMap]:
+    urls = tuple(u.strip().rstrip("/")
+                 for u in args.shards.split(",")) if args.shards \
+        else (env_url_list("REPRO_SERVE_SHARDS") or ())
+    if not urls:
+        if args.shard_index is not None:
+            raise SystemExit(
+                "--shard-index given but no shard ring: pass --shards "
+                "or set REPRO_SERVE_SHARDS")
+        return None
+    index = args.shard_index
+    if index is None:
+        mine = {f"http://{args.host}:{args.port}",
+                f"https://{args.host}:{args.port}"}
+        matches = [i for i, u in enumerate(urls) if u in mine]
+        if len(matches) != 1:
+            raise SystemExit(
+                f"cannot infer this instance's shard slot: "
+                f"{args.host}:{args.port} matches {len(matches)} of "
+                f"{list(urls)}; pass --shard-index")
+        index = matches[0]
+    return ShardMap(urls=urls, index=index)
+
+
+def cmd_serve(args) -> int:
+    shard_map = _shard_map(args)
+    runner = SimRunner(jobs=args.jobs)
+    broker = JobBroker(runner=runner, max_batch=args.max_batch)
+    server = Server(broker, host=args.host, port=args.port,
+                    shard_map=shard_map)
+
+    async def main() -> None:
+        await server.start()
+        shard = f" shard {shard_map.index}/{shard_map.count}" \
+            if shard_map else ""
+        print(f"repro.serve listening on {server.url}{shard} "
+              f"({runner.workers} worker(s), cache "
+              f"{broker.cache.directory})", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", flush=True)
+    return 0
+
+
+def cmd_ping(args) -> int:
+    url = args.url or env_url("REPRO_SERVE_URL")
+    if not url:
+        print("ping: no URL given and REPRO_SERVE_URL unset",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(url, timeout=5.0)
+    deadline = time.monotonic() + args.wait
+    while True:
+        try:
+            payload = client.healthz()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        except ServeUnavailable as exc:
+            if time.monotonic() >= deadline:
+                print(f"ping: {exc}", file=sys.stderr)
+                return 1
+            time.sleep(0.2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run (or probe) the simulation job server.")
+    sub = parser.add_subparsers(dest="command")
+
+    p_serve = sub.add_parser("serve", help="run a server (the default)")
+    for p in (parser, p_serve):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument(
+            "--port", type=int,
+            default=env_int("REPRO_SERVE_PORT", DEFAULT_PORT,
+                            minimum=0, maximum=65535),
+            help=f"bind port (default: REPRO_SERVE_PORT or "
+                 f"{DEFAULT_PORT}; 0 = OS-assigned)")
+        p.add_argument(
+            "--shards", default=None,
+            help="comma-separated shard ring base URLs "
+                 "(default: REPRO_SERVE_SHARDS)")
+        p.add_argument("--shard-index", type=int, default=None,
+                       help="this instance's slot in the ring "
+                            "(default: match host:port)")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="SimRunner worker processes "
+                            "(default: REPRO_JOBS / all cores)")
+        p.add_argument("--max-batch", type=int, default=64,
+                       help="max jobs per runner batch (default 64)")
+
+    p_ping = sub.add_parser("ping", help="health-check an instance")
+    p_ping.add_argument("url", nargs="?", default=None,
+                        help="base URL (default: REPRO_SERVE_URL)")
+    p_ping.add_argument("--wait", type=float, default=0.0,
+                        help="keep retrying for up to this many seconds")
+
+    args = parser.parse_args(argv)
+    if args.command == "ping":
+        return cmd_ping(args)
+    return cmd_serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""The serve wire protocol: jobs and results as JSON payloads.
+
+The job wire format *is* the canonical fingerprint JSON
+(:meth:`repro.runner.SimJob.canonical`, already schema-versioned via
+``repro.runner.jobs.SCHEMA_VERSION``): the client sends exactly the
+dictionary its fingerprint hashes, plus the fingerprint it computed.
+The server reconstructs a :class:`SimJob` from that dictionary and
+recomputes the fingerprint; any mismatch — a non-JSON-clean kwarg, a
+schema skew between client and server, a tampered field — is rejected
+loudly instead of silently keying a different simulation.
+
+Results travel as the pickled :class:`repro.runner.JobResult` bytes
+(base64 inside the JSON envelope, sha256-guarded), i.e. the exact
+payload the on-disk result cache stores — which is what makes a served
+result *byte-identical* to a direct :class:`SimRunner` call, not merely
+numerically equal.  Unpickling executes arbitrary bytecode, so the
+client only ever talks to servers it trusts exactly as much as its own
+``benchmarks/.simcache`` directory (the server is a loopback/LAN
+deployment of this same codebase, not a public endpoint).
+
+Sharding is part of the protocol: :class:`ShardMap` deterministically
+maps the fingerprint keyspace onto N server addresses (hash-mod over
+the leading fingerprint hex — the fingerprint is already a sha256, so
+the prefix is uniform), and both sides compute it, so a client can
+route up front and a server can prove ownership before executing.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runner.jobs import SCHEMA_VERSION, JobResult, SimJob
+from ..runner.specs import PrefetcherSpec
+from ..sim.config import SystemConfig
+from ..telemetry.config import TelemetryConfig
+
+#: Version of the HTTP/JSON envelope (bump when routes or payload
+#: shapes change; the job schema itself is versioned separately by
+#: ``repro.runner.jobs.SCHEMA_VERSION`` inside the canonical form).
+WIRE_VERSION = 1
+
+#: How many leading fingerprint hex digits the shard function consumes.
+#: 12 digits = 48 bits, far beyond any realistic shard count.
+_SHARD_PREFIX = 12
+
+
+class WireError(ValueError):
+    """A payload that cannot be (safely) decoded."""
+
+
+# -- jobs ----------------------------------------------------------------------
+
+def job_to_wire(job: SimJob) -> Dict[str, Any]:
+    """Encode one job: its canonical form plus the claimed fingerprint."""
+    return {"wire": WIRE_VERSION, "job": job.canonical(),
+            "fingerprint": job.fingerprint()}
+
+
+def _spec_from(payload: Optional[Dict[str, Any]]) \
+        -> Optional[PrefetcherSpec]:
+    if payload is None:
+        return None
+    try:
+        return PrefetcherSpec.of(payload["name"], **payload["kwargs"])
+    except (KeyError, TypeError) as exc:
+        raise WireError(f"malformed prefetcher spec {payload!r}: {exc}") \
+            from None
+
+
+def _config_from(payload: Dict[str, Any]) -> SystemConfig:
+    fields = {f.name for f in dataclasses.fields(SystemConfig)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise WireError(f"unknown SystemConfig fields {sorted(unknown)}")
+    kwargs = dict(payload)
+    telemetry = kwargs.pop("telemetry", None)
+    if telemetry is not None:
+        try:
+            telemetry = TelemetryConfig(**{
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in telemetry.items()})
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed telemetry config: {exc}") from None
+    try:
+        return SystemConfig(telemetry=telemetry, **kwargs)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed system config: {exc}") from None
+
+
+def job_from_wire(payload: Dict[str, Any]) -> Tuple[SimJob, str]:
+    """Decode and *verify* one job; returns ``(job, fingerprint)``.
+
+    The reconstructed job's own fingerprint must equal the claimed one —
+    that round-trip is the integrity check that keeps the server's
+    cache keyed exactly like every direct caller's.
+    """
+    if payload.get("wire") != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: got {payload.get('wire')!r}, "
+            f"this server speaks {WIRE_VERSION}")
+    try:
+        canonical = payload["job"]
+        claimed = payload["fingerprint"]
+    except (KeyError, TypeError) as exc:
+        raise WireError(f"malformed job payload: {exc}") from None
+    if not isinstance(canonical, dict):
+        raise WireError("job payload must be the canonical JSON object")
+    if canonical.get("schema") != SCHEMA_VERSION:
+        raise WireError(
+            f"job schema mismatch: got {canonical.get('schema')!r}, "
+            f"this server speaks {SCHEMA_VERSION}")
+    try:
+        job = SimJob(
+            kind=canonical["kind"],
+            workloads=tuple(canonical["workloads"]),
+            n=canonical["n"],
+            seed=canonical["seed"],
+            config=_config_from(canonical["config"]),
+            l1=_spec_from(canonical["l1"]),
+            l2=tuple(_spec_from(s) for s in canonical["l2"]),
+            probes=tuple(canonical["probes"]),
+            measure_overrides=tuple(
+                (k, v) for k, v in canonical["measure_overrides"]),
+        )
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed job payload: {exc}") from None
+    fingerprint = job.fingerprint()
+    if fingerprint != claimed:
+        raise WireError(
+            f"fingerprint mismatch: client claimed {claimed!r} but the "
+            f"reconstructed job keys as {fingerprint!r} (non-JSON-clean "
+            f"parameter, or client/server schema skew)")
+    return job, fingerprint
+
+
+# -- results -------------------------------------------------------------------
+
+def result_to_wire(result: JobResult) -> Dict[str, Any]:
+    """Encode one result as guarded pickle bytes."""
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"wire": WIRE_VERSION,
+            "pickle": base64.b64encode(blob).decode("ascii"),
+            "sha256": hashlib.sha256(blob).hexdigest()}
+
+
+def result_from_wire(payload: Dict[str, Any]) -> JobResult:
+    """Decode one result, verifying the digest before unpickling."""
+    if payload.get("wire") != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: got {payload.get('wire')!r}, "
+            f"this client speaks {WIRE_VERSION}")
+    try:
+        blob = base64.b64decode(payload["pickle"].encode("ascii"))
+        digest = payload["sha256"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed result payload: {exc}") from None
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise WireError("result payload failed its sha256 check")
+    try:
+        result = pickle.loads(blob)
+    except Exception as exc:
+        raise WireError(f"result payload failed to unpickle: {exc}") \
+            from None
+    if not isinstance(result, JobResult):
+        raise WireError(
+            f"result payload decoded to {type(result).__name__}, "
+            f"expected JobResult")
+    return result
+
+
+# -- sharding ------------------------------------------------------------------
+
+def shard_of(fingerprint: str, count: int) -> int:
+    """Deterministic hash-mod shard index for one fingerprint."""
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return int(fingerprint[:_SHARD_PREFIX], 16) % count
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The config-declared partition of the fingerprint keyspace.
+
+    ``urls`` is the full ordered ring of server base addresses (every
+    instance is launched with the same list, e.g. via
+    ``REPRO_SERVE_SHARDS``); ``index`` is this instance's slot.  A
+    single unsharded server is the one-entry ring.
+    """
+
+    urls: Tuple[str, ...]
+    index: int
+
+    def __post_init__(self) -> None:
+        if not self.urls:
+            raise ValueError("shard map needs at least one address")
+        if not 0 <= self.index < len(self.urls):
+            raise ValueError(
+                f"shard index {self.index} out of range for "
+                f"{len(self.urls)} shard(s)")
+
+    @property
+    def count(self) -> int:
+        return len(self.urls)
+
+    def owner_index(self, fingerprint: str) -> int:
+        return shard_of(fingerprint, self.count)
+
+    def owner_of(self, fingerprint: str) -> str:
+        return self.urls[self.owner_index(fingerprint)]
+
+    def owns(self, fingerprint: str) -> bool:
+        return self.owner_index(fingerprint) == self.index
+
+    def describe(self) -> Dict[str, Any]:
+        return {"index": self.index, "count": self.count,
+                "urls": list(self.urls)}
+
+
+def partition(fingerprints: List[str], count: int) -> Dict[int, List[str]]:
+    """Group fingerprints by owning shard (client-side routing helper)."""
+    groups: Dict[int, List[str]] = {}
+    for fp in fingerprints:
+        groups.setdefault(shard_of(fp, count), []).append(fp)
+    return groups

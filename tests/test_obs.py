@@ -168,7 +168,8 @@ class TestProfiledExecution:
         monkeypatch.setenv("REPRO_PROFILE", "1")
         runner.run_one(job)
         assert runner.cache.stats.snapshot() == \
-            {"memo_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+            {"memo_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
+             "evictions": 0}
         monkeypatch.delenv("REPRO_PROFILE")
         runner.run_one(job)
         assert runner.cache.stats.misses == 1
@@ -372,3 +373,83 @@ class TestReportCli:
             env=env, capture_output=True, text=True, timeout=120)
         assert proc.returncode == 1
         assert "no run matches" in proc.stderr
+
+
+# -- runlog tailer (the serve event stream's source) ---------------------------
+
+class TestRunLogTailer:
+    def _emit(self, path: pathlib.Path, pid: int, seq: int,
+              event: str = "job_end", **payload):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"ts": float(seq), "pid": pid,
+                                 "seq": seq, "event": event,
+                                 **payload}) + "\n")
+
+    def test_incremental_poll_sees_only_new_records(self, tmp_path):
+        shard = tmp_path / "run1" / "worker-1.jsonl"
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert tailer.poll() == []
+        self._emit(shard, 1, 0, "job_start")
+        self._emit(shard, 1, 1, "job_end")
+        assert [r["event"] for r in tailer.poll()] == \
+            ["job_start", "job_end"]
+        assert tailer.poll() == []
+        self._emit(shard, 1, 2)
+        assert [r["seq"] for r in tailer.poll()] == [2]
+
+    def test_torn_tail_is_deferred_until_complete(self, tmp_path):
+        shard = tmp_path / "run1" / "worker-1.jsonl"
+        self._emit(shard, 1, 0)
+        with open(shard, "a") as fh:  # a writer killed mid-record
+            fh.write('{"ts": 1.0, "pid": 1, "se')
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert [r["seq"] for r in tailer.poll()] == [0]
+        with open(shard, "a") as fh:
+            fh.write('q": 1, "event": "late"}\n')
+        assert [r["event"] for r in tailer.poll()] == ["late"]
+
+    def test_merge_rewrite_does_not_replay_records(self, tmp_path):
+        log = runlog.RunLog("r1", tmp_path / "r1")
+        log.directory.mkdir(parents=True)
+        for seq in range(3):
+            self._emit(log.directory / "worker-7.jsonl", 7, seq)
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert len(tailer.poll()) == 3
+        # The merge deletes the shard and rewrites every record into
+        # runlog.jsonl; the (ts, pid, seq) dedup must keep them silent.
+        log.merge()
+        assert tailer.poll() == []
+
+    def test_multiple_runs_and_ordering(self, tmp_path):
+        self._emit(tmp_path / "r1" / "worker-1.jsonl", 1, 5)
+        self._emit(tmp_path / "r2" / "worker-2.jsonl", 2, 3)
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert [(r["ts"], r["pid"]) for r in tailer.poll()] == \
+            [(3.0, 2), (5.0, 1)]
+
+
+# -- cache evictions in the run log --------------------------------------------
+
+class TestCacheEvictRecords:
+    def test_eviction_surfaces_in_run_start_and_cache_evict(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        cache_dir = tmp_path / "sc"
+        job = SimJob.single("gap.pr", 3000,
+                            SystemConfig().scaled_down(8), l1="stride")
+        SimRunner(jobs=1, cache=ResultCache(
+            cache_dir, persistent=True)).run_one(job)
+        # Corrupt the stored entry; the next batch's lookup evicts it.
+        (cache_dir / f"{job.fingerprint()}.pkl").write_bytes(b"junk")
+        fresh = ResultCache(cache_dir, persistent=True)
+        with pytest.warns(UserWarning, match="evicting corrupt"):
+            SimRunner(jobs=1, cache=fresh).run_one(job)
+        runs = runlog.list_runs(tmp_path / "obs")
+        records = runlog.load_runlog(runs[-1] / runlog.MERGED)
+        start = next(r for r in records if r["event"] == "run_start")
+        assert start["evictions"] == 1
+        evict = next(r for r in records if r["event"] == "cache_evict")
+        assert evict["fingerprint"] == job.fingerprint()
+        assert "sha256" in evict["reason"]
