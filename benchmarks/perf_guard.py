@@ -15,8 +15,8 @@ CI machines are not the baseline machine, so the factor is deliberately
 loose (default 1.30: only a >30% regression fails) and can be scaled
 for a known-slower runner via ``REPRO_PERF_SCALE`` (e.g. ``1.5`` allows
 baseline*1.5*factor).  ``REPRO_PERF_GUARD=0`` skips the check entirely.
-Refresh the baseline with ``--update`` after an intentional perf
-change, and commit the file.
+Refresh the baseline with ``--update`` (alias: ``--write-baseline``)
+after an intentional perf change, and commit the file.
 """
 
 from __future__ import annotations
@@ -59,7 +59,8 @@ def main(argv=None) -> int:
     parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
                         help="allowed slowdown over baseline "
                              f"(default {DEFAULT_FACTOR})")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update", "--write-baseline",
+                        action="store_true",
                         help="record the current result as the baseline")
     args = parser.parse_args(argv)
 

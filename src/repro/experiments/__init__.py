@@ -1,12 +1,13 @@
 """One module per paper table/figure; see DESIGN.md for the index."""
 
-from . import fig9, fig10, fig11, fig12, fig13, fig14, fig15, tables
+from . import fig9, fig9s, fig10, fig11, fig12, fig13, fig14, fig15, \
+    tables
 from .common import (ExperimentResult, experiment_config,
                      irregular_subset, run_matrix, run_mixes,
                      workload_set)
 
-__all__ = ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-           "tables", "ExperimentResult", "experiment_config",
+__all__ = ["fig9", "fig9s", "fig10", "fig11", "fig12", "fig13", "fig14",
+           "fig15", "tables", "ExperimentResult", "experiment_config",
            "irregular_subset", "run_matrix", "run_mixes",
            "workload_set"]
 
@@ -16,6 +17,7 @@ ALL_EXPERIMENTS = {
     "table2": tables.run_table2,
     "tpmin": tables.run_tpmin,
     "fig9": fig9.run,
+    "fig9s": fig9s.run,
     "fig10a": fig10.run_fig10a,
     "fig10b": fig10.run_fig10b,
     "fig10c": fig10.run_fig10c,

@@ -17,7 +17,7 @@ import sys
 from typing import Dict, List, Optional
 
 #: Paper order for the report sections.
-ORDER = ["table1", "table2", "fig9", "fig10a", "fig10b", "fig10c",
+ORDER = ["table1", "table2", "fig9", "fig9s", "fig10a", "fig10b", "fig10c",
          "fig10de", "fig10f", "fig11a", "fig11b", "fig11cd", "fig12a",
          "fig12b", "fig12c", "fig12ts", "fig13a", "fig13b", "fig13c",
          "tpmin",
@@ -27,6 +27,7 @@ TITLES: Dict[str, str] = {
     "table1": "Table I — partitioning schemes",
     "table2": "Table II — system parameters",
     "fig9": "Figure 9 — single-core speedup",
+    "fig9s": "Figure 9 (sampled) — extrapolated speedup by representative sampling",
     "fig10a": "Figure 10a — multi-core scaling",
     "fig10b": "Figure 10b — per-mix S-curve",
     "fig10c": "Figure 10c — DRAM bandwidth sensitivity",

@@ -54,7 +54,14 @@ from .traces import store_stats as trace_store_stats
 #: payload (``REPRO_PROFILE=1`` span timings; None on the default path).
 #: Timing numbers are unchanged, but v4 pickles predate the field and
 #: are conservatively invalidated.
-SCHEMA_VERSION = 5
+#: v6: representative sampling.  Jobs gained ``window`` (simulate only
+#: records ``[start, stop)`` with a bounded warm-up to ``warm``; part
+#: of the canonical form — a windowed run is a different, exactly
+#: reproducible computation, never a stand-in for the full run's cache
+#: entry).  Un-windowed results are numerically identical to v5, but
+#: the canonical form gained a key, so v5 pickles are conservatively
+#: invalidated.
+SCHEMA_VERSION = 6
 
 SINGLE = "single"
 MULTI = "multi"
@@ -81,6 +88,14 @@ class SimJob:
     #: the warm-up region from the checkpoint store when possible, and
     #: resume interrupted runs from their last progress mark.
     resume: bool = False
+    #: Representative-interval window ``(start, warm, stop)``: simulate
+    #: only records ``[start, stop)`` of the trace, with the warm-up
+    #: boundary at ``warm`` (records ``[start, warm)`` warm the caches
+    #: and prefetchers, ``[warm, stop)`` is the measured region).  Part
+    #: of the canonical form: a windowed job is a distinct — exactly
+    #: reproducible and therefore cacheable — computation, not an
+    #: approximation of the full job.  See :mod:`repro.sampling`.
+    window: Optional[Tuple[int, int, int]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (SINGLE, MULTI):
@@ -89,6 +104,14 @@ class SimJob:
             raise ValueError("single-core jobs take exactly one workload")
         if not self.workloads:
             raise ValueError("job needs at least one workload")
+        if self.window is not None:
+            if self.kind != SINGLE:
+                raise ValueError("windowed jobs are single-core only")
+            start, warm, stop = self.window
+            if not 0 <= start <= warm < stop <= self.n:
+                raise ValueError(
+                    f"window (start={start}, warm={warm}, stop={stop}) "
+                    f"must satisfy 0 <= start <= warm < stop <= n={self.n}")
 
     # -- construction ------------------------------------------------------
 
@@ -97,10 +120,13 @@ class SimJob:
                l1=None, l2: Sequence = (), seed: int = DEFAULT_SEED,
                probes: Sequence[str] = (),
                measure_overrides: Sequence[Tuple[str, Any]] = (),
-               resume: bool = False) -> "SimJob":
+               resume: bool = False,
+               window: Optional[Tuple[int, int, int]] = None) -> "SimJob":
+        win = (int(window[0]), int(window[1]), int(window[2])) \
+            if window is not None else None
         return cls(SINGLE, (workload,), n, seed, config, as_spec(l1),
                    tuple(as_spec(s) for s in l2), tuple(probes),
-                   tuple(measure_overrides), resume)
+                   tuple(measure_overrides), resume, win)
 
     @classmethod
     def multi(cls, workloads: Sequence[str], n_per_core: int,
@@ -140,6 +166,8 @@ class SimJob:
             "probes": list(self.probes),
             "measure_overrides": [[k, v]
                                   for k, v in self.measure_overrides],
+            "window": list(self.window) if self.window is not None
+            else None,
         }
 
     def fingerprint(self) -> str:
@@ -170,6 +198,8 @@ class SimJob:
             "config": config,
             "l1": self.l1.canonical() if self.l1 else None,
             "l2": [s.canonical() for s in self.l2],
+            "window": list(self.window) if self.window is not None
+            else None,
         }
 
     def warmup_fingerprint(self) -> str:
@@ -192,6 +222,17 @@ class SimJob:
             config = self.config
             if config.num_cores != 1:
                 config = config.scaled(num_cores=1)
+            if self.window is not None:
+                # Representative-interval execution: simulate only the
+                # window, warming up over its bounded prefix.  The
+                # window view satisfies the TraceSource protocol, so
+                # scalar and fast paths both run unchanged.
+                from ..sim.trace import TraceWindow
+                start, warm, stop = self.window
+                win = TraceWindow(trace, start, stop)
+                return Engine([win], config, l1_prefetcher=l1_factory,
+                              l2_prefetchers=l2_factories,
+                              warmup_counts=[warm - start])
             return Engine([trace], config, l1_prefetcher=l1_factory,
                           l2_prefetchers=l2_factories)
         traces = [get_trace(wl, self.n, self.seed)
@@ -219,6 +260,8 @@ class SimJob:
             "n": self.n,
             "seed": self.seed,
             "warmup_fingerprint": self.warmup_fingerprint(),
+            "window": list(self.window) if self.window is not None
+            else None,
         }
 
     def prewarm(self, store: Optional[CheckpointStore] = None) -> bool:

@@ -127,7 +127,38 @@ def _telemetry(context: ProbeContext) -> Dict[str, Any]:
     return harness.export()
 
 
+def _sampling(context: ProbeContext) -> Dict[str, Any]:
+    """Windowed-execution evidence for :mod:`repro.sampling`.
+
+    Records how much work the engine actually simulated (per-core
+    record counts and warm-up boundaries) plus the measured-region
+    cache counters — what the extrapolation reporter needs to audit a
+    sampled estimate (a windowed job's simulated-access count is the
+    numerator of the speedup claim) without reaching into live objects.
+    """
+    eng = context.engine
+    if eng is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        # Private by convention, stable by contract: the fast path and
+        # the checkpoint layer read the same stepping counters.
+        "simulated": list(eng._counts),
+        "warmups": list(eng._warmups),
+        "trace_lengths": [len(t) for t in eng.traces],
+        "windows": [[t.start, t.stop]
+                    if hasattr(t, "start") and hasattr(t, "stop")
+                    else None
+                    for t in eng.traces],
+        "caches": [{"l1d": core.l1d.stats.as_dict(),
+                    "l2": core.l2.stats.as_dict()}
+                   for core in eng.cores],
+        "llc": eng.uncore.llc.stats.as_dict(),
+    }
+
+
 register_probe("store_stats", _store_stats)
+register_probe("sampling", _sampling)
 register_probe("redundancy", _redundancy)
 register_probe("alignment", _alignment)
 register_probe("bus_counts", _bus_counts)

@@ -1,0 +1,159 @@
+"""Seeded, dependency-free k-means over interval feature vectors.
+
+numpy-only (no sklearn/scipy — the container bakes in the scientific
+stack this repo already uses and nothing more) and fully deterministic:
+the same ``(matrix, k, seed)`` always yields the same clustering, which
+is what lets :class:`~repro.sampling.plan.SamplingPlan` artifacts be
+checksummed and shared.  Determinism specifics:
+
+* initialization is k-means++ driven by ``np.random.default_rng(seed)``;
+* Lloyd iterations break assignment ties by lowest cluster index
+  (``argmin`` semantics) and stop on convergence or ``max_iters``;
+* an emptied cluster is re-seeded with the point currently farthest
+  from its assigned centroid (deterministic: first such point).
+
+Features are z-scored per column before clustering so a large-magnitude
+column (``gap_mean``) cannot drown the fractional ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def zscore(matrix: np.ndarray) -> np.ndarray:
+    """Per-column standardization; constant columns pass through as 0."""
+    m = np.asarray(matrix, dtype=np.float64)
+    mu = m.mean(axis=0)
+    sd = m.std(axis=0)
+    sd = np.where(sd == 0.0, 1.0, sd)
+    return (m - mu) / sd
+
+
+def _sq_dists(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """``(n, k)`` squared euclidean distances."""
+    diff = points[:, None, :] - centroids[None, :, :]
+    return np.einsum("nkf,nkf->nk", diff, diff)
+
+
+def kmeans(points: np.ndarray, k: int, seed: int,
+           max_iters: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``k`` groups; returns (labels, centroids).
+
+    ``k`` is clamped to the number of points.  Deterministic given
+    ``(points, k, seed)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = max(1, min(k, n))
+    rng = np.random.default_rng(seed)
+    # k-means++: spread the initial centroids proportionally to squared
+    # distance from the ones already chosen.
+    chosen = [int(rng.integers(n))]
+    for _ in range(1, k):
+        d2 = _sq_dists(points, points[chosen]).min(axis=1)
+        total = float(d2.sum())
+        if total <= 0.0:
+            # Remaining points coincide with a centroid; any pick works
+            # and must still be deterministic.
+            chosen.append(int(rng.integers(n)))
+            continue
+        chosen.append(int(rng.choice(n, p=d2 / total)))
+    centroids = points[chosen].copy()
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iters):
+        d2 = _sq_dists(points, centroids)
+        labels = d2.argmin(axis=1)
+        moved = False
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                target = members.mean(axis=0)
+            else:
+                # Re-seed an emptied cluster with the worst-fitted point.
+                target = points[int(d2.min(axis=1).argmax())]
+            if not np.array_equal(target, centroids[j]):
+                centroids[j] = target
+                moved = True
+        if not moved:
+            break
+    labels = _sq_dists(points, centroids).argmin(axis=1)
+    return labels, centroids
+
+
+@dataclass(frozen=True)
+class ClusterPick:
+    """One representative interval chosen from a cluster."""
+
+    start: int        # absolute record index of the interval start
+    weight: float     # cluster population / total intervals
+    cluster: int
+    size: int
+
+
+def _allocate(sizes: List[int], k: int) -> List[int]:
+    """Largest-remainder apportionment of ``k`` picks across clusters
+    (each non-empty cluster gets at least one, capped by its size)."""
+    total = sum(sizes)
+    k = min(k, total)
+    slots = [min(s, max(1, int(k * s / total))) for s in sizes]
+    # Trim overshoot from the smallest quotas, grow undershoot into the
+    # largest remaining headroom — both in deterministic index order.
+    order = sorted(range(len(sizes)), key=lambda j: (sizes[j], j))
+    while sum(slots) > k:
+        trimmed = False
+        for j in order:
+            if slots[j] > 1 and sum(slots) > k:
+                slots[j] -= 1
+                trimmed = True
+        if not trimmed:
+            break
+    while sum(slots) < k:
+        grown = False
+        for j in reversed(order):
+            if slots[j] < sizes[j] and sum(slots) < k:
+                slots[j] += 1
+                grown = True
+        if not grown:
+            break
+    return slots
+
+
+def pick_representatives(matrix: np.ndarray, starts: np.ndarray,
+                         k: int, seed: int) -> List[ClusterPick]:
+    """Cluster the (z-scored) feature matrix and pick ``k`` weighted
+    representative intervals.
+
+    Picks are apportioned to clusters by population (each non-empty
+    cluster gets at least one) and, within a cluster, *stratified over
+    time*: members are sorted by interval start and sampled at evenly
+    spaced ranks, splitting the cluster's weight equally.  Feature
+    vectors cannot see simulation-state drift (queue backlog, slow
+    cache churn) — a phase-uniform trace can still drift in time, and
+    spreading a cluster's picks across the trace averages that drift
+    instead of betting the whole weight on one instant.  Returned
+    sorted by interval start."""
+    z = zscore(matrix)
+    labels, centroids = kmeans(z, k, seed)
+    total = len(labels)
+    clusters = sorted(set(labels.tolist()))
+    member_sets = [np.flatnonzero(labels == j) for j in clusters]
+    slots = _allocate([len(m) for m in member_sets], k)
+    picks: List[ClusterPick] = []
+    for j, members, quota in zip(clusters, member_sets, slots):
+        by_start = members[np.argsort(starts[members], kind="stable")]
+        ranks = [int((i + 0.5) * len(by_start) / quota)
+                 for i in range(quota)]
+        weight = len(members) / total / quota
+        for rank in ranks:
+            rep = int(by_start[min(rank, len(by_start) - 1)])
+            picks.append(ClusterPick(start=int(starts[rep]),
+                                     weight=weight, cluster=int(j),
+                                     size=int(len(members))))
+    picks.sort(key=lambda p: p.start)
+    return picks

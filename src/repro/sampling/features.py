@@ -1,0 +1,155 @@
+"""Per-interval feature extraction — a streaming pass, not a simulation.
+
+The clusterer needs one vector per fixed-size interval describing the
+memory behaviour that *drives* cache/prefetcher outcomes, computable
+without running the engine.  Everything here derives from trace
+structure alone, streamed chunk-by-chunk in constant memory (plus the
+block-history dict, which is bounded by the trace's footprint, not its
+length):
+
+* access mix: write fraction, dependent-load fraction, mean gap;
+* locality: unique-block footprint, first-touch (new-block) fraction,
+  sequential-neighbour fraction, PC diversity;
+* reuse: a log2-bucketed histogram of per-block reuse distances
+  (distance counted in accesses since the block's previous touch) —
+  the feature that separates "repeating irregular sequence" intervals
+  (temporal-prefetch territory) from streaming or thrashing ones.
+
+Intervals sit on a grid anchored at record 0 (interval ``i`` covers
+records ``[i*interval, (i+1)*interval)``); a trailing partial interval
+is dropped.  The planner later restricts clustering to intervals that
+start inside the measured region, but reuse distances are accumulated
+from record 0 so early intervals don't look artificially "new".
+
+``FEATURE_SCHEMA_VERSION`` is part of every plan key: changing what a
+vector means orphans old plans instead of silently reusing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..workloads import DEFAULT_SEED, make_chunks
+
+#: Bump when the vector layout or any feature definition changes.
+FEATURE_SCHEMA_VERSION = 1
+
+#: Log2 reuse-distance buckets: bucket ``b`` holds distances in
+#: ``[2**b, 2**(b+1))``; the last bucket absorbs everything longer.
+RD_BUCKETS = 12
+
+#: Column names of the feature matrix, in order.
+FEATURE_NAMES: List[str] = [
+    "footprint_frac",   # unique blocks touched / interval length
+    "new_frac",         # first-ever-touched blocks / interval length
+    "write_frac",
+    "dep_frac",
+    "pc_frac",          # unique PCs / interval length
+    "seq_frac",         # |block - prev block| <= 1 fraction
+    "gap_mean",         # mean non-memory instructions per access
+] + [f"rd_log2_{b}" for b in range(RD_BUCKETS)]
+
+
+@dataclass
+class FeatureMatrix:
+    """Per-interval feature vectors for one (workload, n, seed) trace."""
+
+    workload: str
+    n: int
+    seed: int
+    interval: int
+    #: Absolute record index where each interval starts (len == rows).
+    starts: np.ndarray
+    #: ``(num_intervals, len(FEATURE_NAMES))`` float64 matrix.
+    matrix: np.ndarray
+    schema: int = FEATURE_SCHEMA_VERSION
+
+
+class _IntervalAccumulator:
+    """Running counters for the interval currently being filled."""
+
+    def __init__(self) -> None:
+        self.blocks: Set[int] = set()
+        self.pcs: Set[int] = set()
+        self.new_blocks = 0
+        self.writes = 0
+        self.deps = 0
+        self.seq = 0
+        self.gap_sum = 0
+        self.rd_hist = [0] * RD_BUCKETS
+        self.count = 0
+
+    def vector(self) -> List[float]:
+        inv = 1.0 / self.count if self.count else 0.0
+        return ([len(self.blocks) * inv,
+                 self.new_blocks * inv,
+                 self.writes * inv,
+                 self.deps * inv,
+                 len(self.pcs) * inv,
+                 self.seq * inv,
+                 self.gap_sum * inv]
+                + [c * inv for c in self.rd_hist])
+
+
+def extract_features(workload: str, n: int, interval: int,
+                     seed: int = DEFAULT_SEED) -> FeatureMatrix:
+    """Stream the trace once and return per-interval feature vectors.
+
+    The records come straight from the workload's chunk producer
+    (:func:`repro.workloads.make_chunks`) — the same bit-identical
+    stream the engine and the trace store consume — so no trace is ever
+    materialized for planning.
+    """
+    if interval < 2:
+        raise ValueError(f"interval must be >= 2, got {interval}")
+    if n < interval:
+        raise ValueError(f"trace length {n} shorter than one interval "
+                         f"({interval})")
+    num_intervals = n // interval
+    last_seen: Dict[int, int] = {}
+    acc = _IntervalAccumulator()
+    rows: List[List[float]] = []
+    idx = 0
+    prev_blk = None
+    for chunk in make_chunks(workload, n, seed):
+        blks = (chunk.addrs >> 6).tolist()
+        pcs = chunk.pcs.tolist()
+        writes = chunk.writes.tolist()
+        gaps = chunk.gaps.tolist()
+        deps = chunk.deps.tolist()
+        for i in range(len(blks)):
+            b = blks[i]
+            acc.blocks.add(b)
+            acc.pcs.add(pcs[i])
+            if writes[i]:
+                acc.writes += 1
+            if deps[i]:
+                acc.deps += 1
+            acc.gap_sum += gaps[i]
+            if prev_blk is not None and -1 <= b - prev_blk <= 1:
+                acc.seq += 1
+            prev_blk = b
+            last = last_seen.get(b)
+            if last is None:
+                acc.new_blocks += 1
+            else:
+                dist = idx - last
+                acc.rd_hist[min(RD_BUCKETS - 1, dist.bit_length() - 1)] \
+                    += 1
+            last_seen[b] = idx
+            acc.count += 1
+            idx += 1
+            if acc.count == interval:
+                rows.append(acc.vector())
+                acc = _IntervalAccumulator()
+                if len(rows) == num_intervals:
+                    break
+        if len(rows) == num_intervals:
+            break
+    starts = np.arange(num_intervals, dtype=np.int64) * interval
+    return FeatureMatrix(workload=workload, n=n, seed=seed,
+                         interval=interval, starts=starts,
+                         matrix=np.asarray(rows, dtype=np.float64))

@@ -209,11 +209,19 @@ class Engine:
                  config: Optional[SystemConfig] = None,
                  l1_prefetcher: Optional[PrefetcherFactory] = None,
                  l2_prefetchers: Sequence[PrefetcherFactory] = (),
-                 streams: Optional[Sequence[Iterable[Record]]] = None):
+                 streams: Optional[Sequence[Iterable[Record]]] = None,
+                 warmup_counts: Optional[Sequence[int]] = None):
         """``streams`` optionally overrides each core's record stream
         (the multicore front-end passes region-biased views of the
         traces); warm-up lengths and workload names still come from
         ``traces``.
+
+        ``warmup_counts`` overrides the per-core warm-up boundary in
+        *records* (instead of ``len(trace) * config.warmup_fraction``).
+        Windowed simulations (:mod:`repro.sampling`) use it to warm up
+        over exactly the bounded prefix preceding a representative
+        interval; a count of 0 means "no warm-up boundary" with the same
+        semantics as a zero-length fractional warm-up.
         """
         self.traces = list(traces)
         if not self.traces:
@@ -235,6 +243,16 @@ class Engine:
         if streams is not None and len(streams) != num_cores:
             raise ValueError("need one record stream per trace")
         self._streams = streams
+        if warmup_counts is not None:
+            if len(warmup_counts) != num_cores:
+                raise ValueError("need one warm-up count per trace")
+            for w, t in zip(warmup_counts, self.traces):
+                if not 0 <= w < len(t):
+                    raise ValueError(
+                        f"warm-up count {w} out of range for trace of "
+                        f"length {len(t)}")
+        self._warmup_counts = list(warmup_counts) \
+            if warmup_counts is not None else None
         self._warm_marks: List[Optional[Tuple[float, int]]] = \
             [None] * num_cores
         self._ran = False
@@ -319,8 +337,10 @@ class Engine:
         self._iters = [
             iter(s) for s in (self._streams if self._streams is not None
                               else self.traces)]
-        self._warmups = [int(len(t) * self.config.warmup_fraction)
-                         for t in self.traces]
+        self._warmups = list(self._warmup_counts) \
+            if self._warmup_counts is not None \
+            else [int(len(t) * self.config.warmup_fraction)
+                  for t in self.traces]
         self._counts = [0] * self.num_cores
         self._warmed = 0
         # Min-heap keyed by core-local clock keeps shared-resource
@@ -618,7 +638,8 @@ class Engine:
             mark = self._warm_marks[i] or (0.0, 0)
             cycles = model.clock - mark[0]
             instrs = model.instrs - mark[1]
-            warmup = int(len(self.traces[i]) * self.config.warmup_fraction)
+            warmup = self._warmups[i] if self._started else \
+                int(len(self.traces[i]) * self.config.warmup_fraction)
             results.append(collect_result(
                 self.traces[i].name, core, model, cycles, instrs,
                 len(self.traces[i]) - warmup, events=events))

@@ -238,6 +238,74 @@ class Trace:
                    np.concatenate([c.deps for c in parts]))
 
 
+class TraceWindow:
+    """A lazy, zero-copy view of records ``[start, stop)`` of a trace.
+
+    Satisfies :class:`TraceSource` by delegating every bounded columnar
+    access to the base source with shifted offsets, so it composes with
+    both the in-memory :class:`Trace` and the streaming store entry —
+    and, because the engine and fast path consume traces purely through
+    the protocol, a windowed simulation runs exactly the loop a full one
+    does.  This is the execution substrate of :mod:`repro.sampling`:
+    a representative interval simulates as a window whose warm-up region
+    is the bounded prefix immediately before it.
+
+    Unlike :meth:`Trace.slice`, nothing is materialized: a window over a
+    100M-access streaming trace costs O(1) memory.
+    """
+
+    def __init__(self, base: TraceSource, start: int, stop: int):
+        if not 0 <= start < stop <= len(base):
+            raise ValueError(
+                f"window [{start}, {stop}) out of range for trace of "
+                f"length {len(base)}")
+        self.base = base
+        self.start = start
+        self.stop = stop
+        self.name = f"{base.name}[{start}:{stop}]"
+        self._instructions: Optional[int] = None
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def instructions(self) -> int:
+        """Retired instructions in the window (computed once, chunked)."""
+        if self._instructions is None:
+            total = 0
+            for lo in range(self.start, self.stop, ITER_CHUNK):
+                hi = min(self.stop, lo + ITER_CHUNK)
+                gaps = self.base.columns_range(lo, hi).gaps
+                total += int(gaps.sum(dtype=np.int64))
+            self._instructions = total + len(self)
+        return self._instructions
+
+    def __iter__(self) -> Iterator[Tuple[int, int, bool, int, bool]]:
+        return self.iter_from(0)
+
+    def iter_from(self, start: int
+                  ) -> Iterator[Tuple[int, int, bool, int, bool]]:
+        """Window-relative record stream from ``start`` (chunked)."""
+        n = len(self)
+        for lo in range(start, n, ITER_CHUNK):
+            c = self.chunk_at(lo, min(n, lo + ITER_CHUNK))
+            yield from zip(c.pcs.tolist(), c.addrs.tolist(),
+                           c.writes.tolist(), c.gaps.tolist(),
+                           c.deps.tolist())
+
+    def chunk_at(self, start: int, stop: int) -> TraceChunk:
+        return self.base.chunk_at(self.start + start, self.start + stop)
+
+    def columns_range(self, start: int, stop: int) -> TraceColumns:
+        return self.base.columns_range(self.start + start,
+                                       self.start + stop)
+
+    def iter_chunks(self, start: int = 0) -> Iterator[TraceChunk]:
+        n = len(self)
+        for lo in range(start, n, ITER_CHUNK):
+            yield self.chunk_at(lo, min(n, lo + ITER_CHUNK))
+
+
 class TraceBuilder:
     """Mutable helper used by the workload generators.
 

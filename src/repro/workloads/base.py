@@ -19,6 +19,12 @@ that matters to the paper's evaluation:
   no-reuse scanning PC (the mcf case where Triangel's PC bypassing wins).
 * :func:`stencil_sweep` - repeated multi-array grid sweeps
   (milc/lbm-like): temporal *and* regular at once.
+* :func:`kv_store` - GET/SET mixture with Zipfian hot keys
+  (memcached-like): hot keys replay bucket->value miss chains, the tail
+  is noise, SETs stream into a log.
+* :func:`embedding_gather` - DLRM/LLM-inference embedding lookups:
+  Zipf-hot rows recur across samples in interleaved order (approximate
+  repetition), pooled outputs stream.
 
 All generators are deterministic given a seed.  Addresses for different
 logical data structures live in disjoint 4GB regions so they never alias.
@@ -449,6 +455,141 @@ def phased(name: str, n: int, seed: int,
         n, seed, phases=phases, gap=gap))
 
 
+# -- kv_store ------------------------------------------------------------------
+
+def _kv_store_chunks(n: int, seed: int, keys: int = 8192,
+                     get_fraction: float = 0.9, alpha: float = 1.05,
+                     value_blocks: int = 2, buckets: int = 16384,
+                     gap: int = 5) -> Iterator[TraceChunk]:
+    rng = _rng(seed)
+    bucket_base, value_base, log_base = _region(0), _region(1), _region(2)
+    pc_probe, pc_value, pc_log = _pc(0), _pc(1), _pc(2)
+    round_ops = 2048
+    log_blocks = 0
+    emitted = 0
+    while emitted < n:
+        ks = np.asarray(_zipf_indices(rng, round_ops, keys, alpha),
+                        dtype=np.int64)
+        is_get = rng.random(round_ops) < get_fraction
+        # Per op: one bucket probe, `value_blocks` value accesses, and
+        # (SET only) one append to a shared sequential log.
+        lens = np.where(is_get, 1 + value_blocks, 2 + value_blocks)
+        total = int(lens.sum())
+        starts = np.zeros(round_ops, dtype=np.int64)
+        starts[1:] = np.cumsum(lens[:-1])
+        op = np.repeat(np.arange(round_ops, dtype=np.int64), lens)
+        within = np.arange(total, dtype=np.int64) - starts[op]
+        okey = ks[op]
+        is_probe = within == 0
+        is_log = within == lens[op] - 1
+        is_log &= ~is_get[op]
+        is_value = ~is_probe & ~is_log
+        addrs = np.empty(total, dtype=np.int64)
+        # Fibonacci-hash the key to its bucket so hot keys stay hot but
+        # neighbouring keys don't share spatial locality.
+        addrs[is_probe] = bucket_base + \
+            (okey[is_probe] * 2654435761 % buckets) * 64
+        addrs[is_value] = value_base + \
+            (okey[is_value] * value_blocks + within[is_value] - 1) * 64
+        set_ordinal = np.cumsum(is_log) - 1
+        addrs[is_log] = log_base + (log_blocks + set_ordinal[is_log]) * 64
+        log_blocks += int(is_log.sum())
+        pcs = np.where(is_probe, pc_probe,
+                       np.where(is_log, pc_log, pc_value))
+        writes = np.where(is_probe, False, ~is_get[op])
+        take = min(total, n - emitted)
+        yield make_chunk(pcs, addrs, writes=writes,
+                         deps=~is_probe, gap=gap).slice(0, take)
+        emitted += take
+
+
+def kv_store(name: str, n: int, seed: int, keys: int = 8192,
+             get_fraction: float = 0.9, alpha: float = 1.05,
+             value_blocks: int = 2, buckets: int = 16384,
+             gap: int = 5) -> Trace:
+    """KV-store GET/SET mixture over Zipfian hot keys (memcached-like).
+
+    Each operation hashes its key into a bucket array, then touches the
+    key's ``value_blocks``-block value (dependent accesses); SETs also
+    append to a shared sequential write log.  Hot keys repeat their
+    bucket->value miss sequences constantly (temporal-friendly), the
+    Zipf tail is near-random noise, and the log is pure streaming —
+    one workload that exercises all three metadata regimes at once.
+    """
+    return Trace.from_chunks(name, _kv_store_chunks(
+        n, seed, keys=keys, get_fraction=get_fraction, alpha=alpha,
+        value_blocks=value_blocks, buckets=buckets, gap=gap))
+
+
+# -- embedding_gather ----------------------------------------------------------
+
+def _embedding_gather_chunks(n: int, seed: int, rows: int = 4096,
+                             tables: int = 4, lookups: int = 4,
+                             alpha: float = 0.8, row_blocks: int = 1,
+                             gap: int = 4) -> Iterator[TraceChunk]:
+    rng = _rng(seed)
+    out_base = _region(tables)
+    pc_out = _pc(tables)
+    per_sample = tables * (lookups * row_blocks + 1)
+    round_samples = max(1, CHUNK_RECORDS // per_sample)
+    samples_done = 0
+    emitted = 0
+    while emitted < n:
+        draws = np.asarray(
+            _zipf_indices(rng, round_samples * tables * lookups, rows,
+                          alpha),
+            dtype=np.int64).reshape(round_samples, tables, lookups)
+        # Sample layout: per table, `lookups` row gathers (row_blocks
+        # blocks each, dependent on the indirection) then one sequential
+        # write into that table's slice of the pooled output vector.
+        rows_part = np.repeat(draws, row_blocks, axis=2) * 64 * row_blocks
+        if row_blocks > 1:
+            rows_part += np.tile(
+                64 * np.arange(row_blocks, dtype=np.int64),
+                lookups).reshape(1, 1, -1)
+        table_idx = np.arange(tables, dtype=np.int64).reshape(1, -1, 1)
+        gathers = _regions(np.broadcast_to(
+            table_idx, rows_part.shape).copy()) + rows_part
+        sample_idx = (samples_done
+                      + np.arange(round_samples, dtype=np.int64))
+        out = (out_base
+               + 64 * (sample_idx.reshape(-1, 1, 1) * tables + table_idx))
+        addrs = np.concatenate([gathers, out], axis=2).reshape(-1)
+        pcs = np.concatenate(
+            [np.broadcast_to(_pcs(table_idx),
+                             rows_part.shape).copy(),
+             np.full((round_samples, tables, 1), pc_out, np.int64)],
+            axis=2).reshape(-1)
+        is_out = np.concatenate(
+            [np.zeros(rows_part.shape, np.bool_),
+             np.ones((round_samples, tables, 1), np.bool_)],
+            axis=2).reshape(-1)
+        samples_done += round_samples
+        take = min(len(addrs), n - emitted)
+        yield make_chunk(pcs, addrs, writes=is_out,
+                         deps=~is_out, gap=gap).slice(0, take)
+        emitted += take
+
+
+def embedding_gather(name: str, n: int, seed: int, rows: int = 4096,
+                     tables: int = 4, lookups: int = 4,
+                     alpha: float = 0.8, row_blocks: int = 1,
+                     gap: int = 4) -> Trace:
+    """LLM/DLRM-inference embedding lookups: per sample, gather
+    Zipf-distributed rows from several embedding tables, then write the
+    pooled result sequentially.
+
+    Row reuse follows the skewed token/feature distribution — hot rows
+    recur across samples with *interleaved* table order, so the miss
+    sequence repeats approximately rather than exactly (the realignment
+    case temporal prefetchers must tolerate), while the pooled output
+    stream stays stride-friendly.
+    """
+    return Trace.from_chunks(name, _embedding_gather_chunks(
+        n, seed, rows=rows, tables=tables, lookups=lookups, alpha=alpha,
+        row_blocks=row_blocks, gap=gap))
+
+
 def _normalized(fn: Callable[..., Iterator[TraceChunk]]
                 ) -> Callable[..., Iterator[TraceChunk]]:
     """Wrap a producer so consumers see uniform CHUNK_RECORDS chunks."""
@@ -469,4 +610,6 @@ CHUNK_GENERATORS.update({
     "scan_mix": _normalized(_scan_mix_chunks),
     "stencil_sweep": _normalized(_stencil_sweep_chunks),
     "phased": _normalized(_phased_chunks),
+    "kv_store": _normalized(_kv_store_chunks),
+    "embedding_gather": _normalized(_embedding_gather_chunks),
 })

@@ -97,10 +97,22 @@ def _gap() -> Dict[str, Spec]:
     }
 
 
+def _srv() -> Dict[str, Spec]:
+    """Server-class workloads beyond the paper's suites: a KV store and
+    an inference embedding-gather (the fig9/fig9s 'srv.' rows)."""
+    return {
+        "srv.kv": ("kv_store",
+                   dict(keys=8192, get_fraction=0.9, alpha=1.05,
+                        value_blocks=2)),
+        "srv.embed": ("embedding_gather",
+                      dict(rows=4096, tables=4, lookups=4, alpha=0.8)),
+    }
+
+
 _REGISTRY: Dict[str, Spec] = {}
 _SUITES: Dict[str, List[str]] = {}
 for _suite_name, _table in (("spec06", _spec06()), ("spec17", _spec17()),
-                            ("gap", _gap())):
+                            ("gap", _gap()), ("srv", _srv())):
     _SUITES[_suite_name] = sorted(_table)
     _REGISTRY.update(_table)
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 
@@ -16,6 +17,12 @@ os.environ.setdefault("REPRO_CACHE", "0")
 # Likewise don't litter benchmarks/.obs with run logs from every runner
 # test; obs tests opt back in with REPRO_OBS=1 + a tmp REPRO_OBS_DIR.
 os.environ.setdefault("REPRO_OBS", "0")
+# And keep sampling off (experiments stay exact) with any plans a test
+# does build going to a throwaway directory, not benchmarks/.splans;
+# sampling tests opt back in with explicit PlanStore instances.
+os.environ.setdefault("REPRO_SAMPLING", "0")
+os.environ.setdefault("REPRO_SAMPLING_DIR",
+                      tempfile.mkdtemp(prefix="repro-splans-"))
 
 
 @pytest.fixture

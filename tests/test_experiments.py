@@ -18,7 +18,8 @@ MINI_WL = ["gap.pr", "06.lbm"]
 
 
 def test_experiment_registry_covers_every_figure():
-    expected = {"table1", "table2", "tpmin", "fig9", "fig10a", "fig10b",
+    expected = {"table1", "table2", "tpmin", "fig9", "fig9s", "fig10a",
+                "fig10b",
                 "fig10c", "fig10de", "fig10f", "fig11a", "fig11b",
                 "fig11cd", "fig12a", "fig12b", "fig12c", "fig12ts",
                 "fig13a", "fig13b", "fig13c", "fig14", "fig15"}
@@ -33,7 +34,7 @@ def test_experiment_result_table_renders():
 
 
 def test_workload_sets():
-    assert len(workload_set("full")) == 29
+    assert len(workload_set("full")) == 31
     assert workload_set("component")
     assert set(workload_set("gap")) == set(workload_set("gap"))
 

@@ -18,7 +18,8 @@ class TestRegistry:
         assert len(suite("spec06")) == 13
         assert len(suite("spec17")) == 10
         assert len(suite("gap")) == 6
-        assert len(names()) == 29
+        assert len(suite("srv")) == 2
+        assert len(names()) == 31
 
     def test_suite_of_roundtrip(self):
         for wl in names():
