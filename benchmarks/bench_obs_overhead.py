@@ -12,6 +12,12 @@ Three guarantees, asserted every run:
    warmup, measure, collect, ...) sum to within 10% of the profiled
    job's wall-clock, and the profiler-on overhead stays <= 25% over the
    off run.
+4. **The trace/metrics plane is near-free** (ISSUE 10) — executing a
+   job with ``REPRO_TRACE=1 REPRO_METRICS=1`` under a live trace
+   context produces a ``SimResult`` bit-identical to the
+   ``REPRO_TRACE=0 REPRO_METRICS=0`` run (no masking needed: contexts
+   and metrics ride the runlog, never the result), and the on-path
+   overhead stays <= 10%.
 
 Run standalone: ``python benchmarks/bench_obs_overhead.py``
 """
@@ -29,6 +35,9 @@ WORKLOAD = "gap.pr"
 #: Acceptance bounds (ISSUE 5): profiled overhead and phase-sum error.
 MAX_OVERHEAD = 0.25
 MAX_PHASE_ERROR = 0.10
+
+#: Acceptance bound (ISSUE 10): tracing + metrics on-path overhead.
+MAX_OBS_PLANE_OVERHEAD = 0.10
 
 
 def _job():
@@ -51,6 +60,47 @@ def _timed_execute(job, profile: bool):
     finally:
         os.environ.pop("REPRO_PROFILE", None)
     return result, time.perf_counter() - t0
+
+
+def _timed_execute_plane(job, on: bool):
+    """One :func:`execute_job` pass with the trace/metrics plane forced
+    on (under a fresh root context) or forced off."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.runner.jobs import execute_job
+
+    value = "1" if on else "0"
+    os.environ["REPRO_TRACE"] = value
+    os.environ["REPRO_METRICS"] = value
+    assert obs_trace.enabled() == on
+    assert obs_metrics.enabled() == on
+    traceparent = obs_trace.new_context().to_traceparent() if on else None
+    t0 = time.perf_counter()
+    try:
+        result = execute_job(job, traceparent)
+    finally:
+        os.environ.pop("REPRO_TRACE", None)
+        os.environ.pop("REPRO_METRICS", None)
+    return result, time.perf_counter() - t0
+
+
+def _check_plane(job):
+    """Guarantee 4; returns (off seconds, on seconds, overhead)."""
+    off_a, off_secs_a = _timed_execute_plane(job, on=False)
+    off_b, off_secs_b = _timed_execute_plane(job, on=False)
+    assert off_a.single == off_b.single, \
+        "trace/metrics-off runs are not bit-identical"
+    on_a, on_secs_a = _timed_execute_plane(job, on=True)
+    on_b, on_secs_b = _timed_execute_plane(job, on=True)
+    assert on_a.single == off_a.single, \
+        "tracing + metrics perturbed the SimResult"
+    off_secs = min(off_secs_a, off_secs_b)
+    on_secs = min(on_secs_a, on_secs_b)
+    overhead = on_secs / off_secs - 1.0 if off_secs else 0.0
+    assert overhead <= MAX_OBS_PLANE_OVERHEAD, \
+        f"trace/metrics on-path overhead {100 * overhead:.1f}% > " \
+        f"{100 * MAX_OBS_PLANE_OVERHEAD:.0f}%"
+    return off_secs, on_secs, overhead
 
 
 def _check(off_result, on_result):
@@ -86,6 +136,8 @@ def test_obs_overhead(benchmark):
     benchmark.extra_info["overhead"] = on_secs / off_secs - 1.0 \
         if off_secs else 0.0
     benchmark.extra_info["phase_error"] = error
+    _, _, plane_overhead = _check_plane(job)
+    benchmark.extra_info["trace_metrics_overhead"] = plane_overhead
 
 
 def main() -> None:
@@ -101,6 +153,7 @@ def main() -> None:
     assert overhead <= MAX_OVERHEAD, \
         f"profiler-on overhead {100 * overhead:.1f}% > " \
         f"{100 * MAX_OVERHEAD:.0f}%"
+    plane_off, plane_on, plane_overhead = _check_plane(job)
     components = sorted(payload["components"].items(),
                         key=lambda kv: -kv[1]["seconds"])[:5]
     lines = [
@@ -112,6 +165,10 @@ def main() -> None:
         f"(bound {100 * MAX_PHASE_ERROR:.0f}%)",
         "profiler-off runs bit-identical: yes",
         "profiled SimResult identical to off (profile masked): yes",
+        f"trace+metrics plane: off {plane_off:.3f}s on {plane_on:.3f}s "
+        f"-> overhead {100 * plane_overhead:+.1f}% "
+        f"(bound {100 * MAX_OBS_PLANE_OVERHEAD:.0f}%), "
+        "results bit-identical: yes",
         "hottest components: " + ", ".join(
             f"{name} {comp['seconds']:.3f}s" for name, comp in components),
     ]

@@ -5,19 +5,26 @@
     python -m repro.obs list                 # merged runs, oldest first
     python -m repro.obs report [run_id]      # markdown report (default:
                                              #   latest run)
+    python -m repro.obs report --json        # machine-readable report
+    python -m repro.obs report --trace <id>  # one request's span tree,
+                                             #   across runs and shards
     python -m repro.obs top [run_id]         # hottest components only
+    python -m repro.obs metrics [run_id]     # job_end metrics, folded
     python -m repro.obs report --compare A B # side-by-side run diff
 
 ``run_id`` may be any unique prefix of a run directory name under
-``benchmarks/.obs`` (or ``REPRO_OBS_DIR``).
+``benchmarks/.obs`` (or ``REPRO_OBS_DIR``); ``--trace`` takes a full
+trace id or any unique prefix of one.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
+import time
 from typing import List, Optional
 
 from . import report, runlog
@@ -48,19 +55,38 @@ def cmd_list(_args: argparse.Namespace) -> int:
     if not runs:
         print("no merged runs under", runlog.obs_dir())
         return 0
-    print(f"{'run':<32} {'jobs':>5} {'exec':>5} {'cache':>5} "
-          f"{'prof':>5} {'wall':>9}")
+    print(f"{'run':<32} {'started':<19} {'jobs':>5} {'exec':>5} "
+          f"{'cache':>5} {'shards':>6} {'prof':>5} {'wall':>9}")
     for run_dir in runs:
         summary = report.summarize(run_dir)
         cached = summary.memo_hits + summary.disk_hits
-        print(f"{summary.run_id:<32} {summary.total:>5} "
-              f"{summary.executed:>5} {cached:>5} "
+        started = time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            time.localtime(summary.started)) if summary.started else "-"
+        print(f"{summary.run_id:<32} {started:<19} {summary.total:>5} "
+              f"{summary.executed:>5} {cached:>5} {summary.shards:>6} "
               f"{len(summary.profiled_jobs):>5} "
               f"{summary.wall_seconds:>8.2f}s")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.trace:
+        try:
+            records = report.collect_trace(args.trace)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        if not records:
+            print(f"no records carry trace {args.trace!r} under "
+                  f"{runlog.obs_dir()}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(report.trace_to_json(args.trace, records),
+                             indent=2, sort_keys=True))
+        else:
+            print(report.render_trace(args.trace, records))
+        return 0
     if args.compare:
         dir_a = _resolve_run(args.compare[0])
         dir_b = _resolve_run(args.compare[1])
@@ -73,7 +99,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     run_dir = _resolve_run(args.run_id)
     if run_dir is None:
         return 1
-    print(report.render(report.summarize(run_dir), top=args.top))
+    summary = report.summarize(run_dir)
+    if args.json:
+        print(json.dumps(summary.to_json(top=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(report.render(summary, top=args.top))
     return 0
 
 
@@ -81,7 +112,26 @@ def cmd_top(args: argparse.Namespace) -> int:
     run_dir = _resolve_run(args.run_id)
     if run_dir is None:
         return 1
-    print(report.render_top(report.summarize(run_dir), top=args.top))
+    summary = report.summarize(run_dir)
+    if args.json:
+        print(json.dumps(report.top_to_json(summary, top=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(report.render_top(summary, top=args.top))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    run_dir = _resolve_run(args.run_id)
+    if run_dir is None:
+        return 1
+    summary = report.summarize(run_dir)
+    if args.json:
+        payload = summary.job_metrics()
+        payload["run_id"] = summary.run_id
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render_metrics(summary))
     return 0
 
 
@@ -103,6 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default=None,
                        help="diff two runs (id prefixes) side by side: "
                             "wall, matched jobs, components, phases")
+    p_rep.add_argument("--trace", default=None, metavar="TRACE_ID",
+                       help="reconstruct one request's span tree across "
+                            "every run (full trace id or unique prefix)")
+    p_rep.add_argument("--json", action="store_true",
+                       help="machine-readable output with stable keys")
     p_rep.set_defaults(fn=cmd_report)
 
     p_top = sub.add_parser("top", help="hottest components for one run")
@@ -110,7 +165,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="run id prefix (default: latest run)")
     p_top.add_argument("--top", type=int, default=10,
                        help="components to show")
+    p_top.add_argument("--json", action="store_true",
+                       help="machine-readable output with stable keys")
     p_top.set_defaults(fn=cmd_top)
+
+    p_met = sub.add_parser(
+        "metrics", help="job_end metrics sections for one run, folded")
+    p_met.add_argument("run_id", nargs="?", default=None,
+                       help="run id prefix (default: latest run)")
+    p_met.add_argument("--json", action="store_true",
+                       help="machine-readable output with stable keys")
+    p_met.set_defaults(fn=cmd_metrics)
 
     args = parser.parse_args(argv)
     try:

@@ -120,6 +120,7 @@ class SpanProfiler:
         ``spans``
             The full nested table (path/total/self/count).
         """
+        from . import trace as obs_trace
         root = self._agg.get(ROOT)
         phases: Dict[str, float] = {}
         components: Dict[str, Dict[str, Any]] = {}
@@ -134,7 +135,7 @@ class SpanProfiler:
             else:
                 comp["seconds"] += self_s
                 comp["count"] += count
-        return {
+        out = {
             "schema": PROFILE_SCHEMA_VERSION,
             "enabled": True,
             "wall_seconds": root[0] if root else 0.0,
@@ -142,6 +143,13 @@ class SpanProfiler:
             "components": dict(sorted(components.items())),
             "spans": self.spans(),
         }
+        # report() runs while the job's trace context is still
+        # installed, so the profile payload carries the same trace as
+        # the runlog records it ships with.
+        context = obs_trace.current()
+        if context is not None:
+            out.update(context.fields())
+        return out
 
 
 # -- the per-process active profiler -------------------------------------------

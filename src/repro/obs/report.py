@@ -30,11 +30,27 @@ class JobRecord:
     restored: bool
     pid: int
     profile: Optional[Dict[str, Any]] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def label(self) -> str:
         wl = "+".join(self.workloads) if self.workloads else "?"
         return f"{wl}/{self.prefetcher} [{self.fingerprint[:10]}]"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Stable machine-readable form (``--json`` surfaces)."""
+        return {"fingerprint": self.fingerprint,
+                "workloads": list(self.workloads),
+                "prefetcher": self.prefetcher,
+                "wall_seconds": self.wall_seconds,
+                "restored": self.restored,
+                "pid": self.pid,
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "metrics": self.metrics,
+                "profiled": bool(self.profile)}
 
 
 @dataclass
@@ -51,6 +67,11 @@ class RunSummary:
     ckpt_hits: int = 0
     wall_seconds: float = 0.0
     workers: int = 0
+    #: Unix timestamp of the earliest record (the run's start time).
+    started: float = 0.0
+    #: Distinct writer processes seen in the merged log — the shard
+    #: count before the merge folded them together.
+    shards: int = 0
 
     @property
     def profiled_jobs(self) -> List[JobRecord]:
@@ -85,6 +106,43 @@ class RunSummary:
                 agg["count"] += span["count"]
         return out
 
+    def job_metrics(self) -> Dict[str, Any]:
+        """The run's ``job_end`` metrics sections, aggregated."""
+        jobs = [j for j in self.jobs if j.metrics]
+        wall = sum(j.metrics["wall_seconds"] for j in jobs)
+        events = sum(j.metrics.get("events", 0) for j in jobs)
+        return {
+            "jobs_with_metrics": len(jobs),
+            "wall_seconds": wall,
+            "events": events,
+            "events_per_second": events / wall if wall > 0 else 0.0,
+            "ckpt_restores": sum(j.metrics.get("ckpt_restored", 0)
+                                 for j in jobs),
+            "trace_store_hits": sum(j.metrics.get("trace_store_hits", 0)
+                                    for j in jobs),
+        }
+
+    def to_json(self, top: int = 10) -> Dict[str, Any]:
+        """Stable machine-readable form of the full report."""
+        ranked = sorted(self.jobs, key=lambda j: -j.wall_seconds)[:top]
+        return {
+            "run_id": self.run_id,
+            "started": self.started,
+            "jobs": self.total,
+            "executed": self.executed,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "ckpt_hits": self.ckpt_hits,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "shards": self.shards,
+            "slowest_jobs": [j.to_json() for j in ranked],
+            "components": self.components(),
+            "phases": self.phases(),
+            "spans": self.spans(),
+            "metrics": self.job_metrics(),
+        }
+
 
 def summarize(run_dir: pathlib.Path) -> RunSummary:
     """Fold one merged run directory into a :class:`RunSummary`."""
@@ -117,8 +175,15 @@ def summarize(run_dir: pathlib.Path) -> RunSummary:
                 restored=bool(rec.get("restored", False)),
                 pid=int(rec.get("pid", 0)),
                 profile=rec.get("profile"),
+                trace_id=rec.get("trace_id"),
+                span_id=rec.get("span_id"),
+                metrics=rec.get("metrics"),
             ))
     summary.executed = len(summary.jobs)
+    summary.started = min((r.get("ts", 0.0) for r in records),
+                          default=0.0)
+    summary.shards = len({r.get("pid") for r in records
+                          if r.get("pid") is not None})
     return summary
 
 
@@ -298,6 +363,206 @@ def render_compare(a: RunSummary, b: RunSummary, top: int = 10) -> str:
         lines.append("")
 
     return "\n".join(lines)
+
+
+# -- trace reconstruction ------------------------------------------------------
+
+def collect_trace(trace_id: str,
+                  root: Optional[pathlib.Path] = None) \
+        -> List[Dict[str, Any]]:
+    """Every record carrying ``trace_id`` (a full id or unique prefix),
+    across every merged run under ``root``.
+
+    One request may fan out over several runs (each serve batch is its
+    own run directory, and a shard ring produces one per shard), so the
+    scan is obs-root-wide, in ``(ts, pid, seq)`` order.  Raises
+    ``ValueError`` when a prefix matches more than one trace.
+    """
+    matched: List[Dict[str, Any]] = []
+    ids = set()
+    for run_dir in runlog.list_runs(root):
+        for rec in runlog.load_runlog(run_dir / runlog.MERGED):
+            rec_trace = rec.get("trace_id")
+            if isinstance(rec_trace, str) \
+                    and rec_trace.startswith(trace_id):
+                rec = dict(rec)
+                rec["run_id"] = run_dir.name
+                matched.append(rec)
+                ids.add(rec_trace)
+    if len(ids) > 1:
+        raise ValueError(
+            f"trace prefix {trace_id!r} is ambiguous: "
+            f"{', '.join(sorted(ids))}")
+    matched.sort(key=lambda r: (r.get("ts", 0.0), r.get("pid", 0),
+                                r.get("seq", 0)))
+    return matched
+
+
+def _span_label(records: List[Dict[str, Any]]) -> str:
+    """A one-line description of one span from its records."""
+    by_event = {r.get("event"): r for r in records}
+    if "job_end" in by_event or "job_start" in by_event:
+        rec = by_event.get("job_end", by_event.get("job_start"))
+        wl = "+".join(rec.get("workloads", [])) or "?"
+        fp = str(rec.get("fingerprint", ""))[:10]
+        label = f"job {wl}/{rec.get('prefetcher', '?')} [{fp}]"
+        if "job_end" in by_event:
+            label += f" {_secs(float(by_event['job_end'].get('wall_seconds', 0.0)))}"
+        return label
+    if "run_start" in by_event or "run_end" in by_event:
+        rec = by_event.get("run_start", by_event.get("run_end"))
+        label = f"batch run {rec.get('run_id', '?')}"
+        if "run_start" in by_event:
+            label += (f" ({by_event['run_start'].get('executed', '?')}"
+                      f" executed / {by_event['run_start'].get('jobs', '?')}"
+                      f" jobs)")
+        if "run_end" in by_event:
+            label += f" {_secs(float(by_event['run_end'].get('wall_seconds', 0.0)))}"
+        return label
+    events = " ".join(sorted({str(r.get("event")) for r in records}))
+    return f"[{events}]"
+
+
+def trace_tree(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Group one trace's records into spans and nest them by parentage.
+
+    Returns the root spans; each node is ``{span_id, parent_span,
+    pid, label, records, children}``.  Spans whose parent never wrote a
+    record (e.g. the client's root span, which lives in another
+    process with no runlog writer) become roots.
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    for rec in records:
+        span_id = rec.get("span_id")
+        if not isinstance(span_id, str):
+            continue
+        node = spans.setdefault(span_id, {
+            "span_id": span_id,
+            "parent_span": rec.get("parent_span"),
+            "pid": rec.get("pid"),
+            "records": [],
+            "children": []})
+        node["records"].append(rec)
+    roots: List[Dict[str, Any]] = []
+    for node in spans.values():
+        node["label"] = _span_label(node["records"])
+        parent = node["parent_span"]
+        if isinstance(parent, str) and parent in spans:
+            spans[parent]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def first_ts(node: Dict[str, Any]) -> float:
+        return min(r.get("ts", 0.0) for r in node["records"])
+
+    for node in spans.values():
+        node["children"].sort(key=first_ts)
+    roots.sort(key=first_ts)
+    return roots
+
+
+def render_trace(trace_id: str, records: List[Dict[str, Any]]) -> str:
+    """The cross-process tree of one request, as indented text."""
+    if not records:
+        return f"no records carry trace {trace_id}"
+    full_id = next(r["trace_id"] for r in records if r.get("trace_id"))
+    runs = sorted({str(r.get("run_id")) for r in records})
+    roots = trace_tree(records)
+    span_count = sum(1 for _ in _walk(roots))
+    lines = [f"trace {full_id} — {span_count} span(s), "
+             f"{len(records)} record(s), {len(runs)} run(s): "
+             f"{', '.join(runs)}"]
+    orphaned = [n for n in roots if n["parent_span"]]
+
+    def emit(node: Dict[str, Any], depth: int) -> None:
+        note = " (parent span wrote no records)" \
+            if depth == 0 and node["parent_span"] else ""
+        lines.append(f"{'  ' * depth}- span {node['span_id']} "
+                     f"pid {node['pid']}: {node['label']}{note}")
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    if orphaned:
+        lines.append(f"({len(orphaned)} root(s) are children of spans "
+                     "that wrote no records — e.g. the submitting "
+                     "client's own root span)")
+    return "\n".join(lines)
+
+
+def _walk(nodes: List[Dict[str, Any]]):
+    for node in nodes:
+        yield node
+        yield from _walk(node["children"])
+
+
+def trace_to_json(trace_id: str,
+                  records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Stable machine-readable form of one reconstructed trace."""
+
+    def strip(node: Dict[str, Any]) -> Dict[str, Any]:
+        return {"span_id": node["span_id"],
+                "parent_span": node["parent_span"],
+                "pid": node["pid"],
+                "label": node["label"],
+                "events": [str(r.get("event")) for r in node["records"]],
+                "children": [strip(c) for c in node["children"]]}
+
+    full_id = next((r["trace_id"] for r in records
+                    if r.get("trace_id")), trace_id)
+    return {"trace_id": full_id,
+            "records": len(records),
+            "runs": sorted({str(r.get("run_id")) for r in records}),
+            "spans": [strip(n) for n in trace_tree(records)]}
+
+
+# -- metrics rendering ---------------------------------------------------------
+
+def render_metrics(summary: RunSummary) -> str:
+    """The ``python -m repro.obs metrics`` text view for one run."""
+    agg = summary.job_metrics()
+    lines = [f"run {summary.run_id}: {agg['jobs_with_metrics']} job(s) "
+             "with metrics"]
+    if not agg["jobs_with_metrics"]:
+        lines.append("  (runs before the metrics subsystem, or "
+                     "REPRO_METRICS=0)")
+        return "\n".join(lines)
+    lines.append(f"  {'wall_seconds':<20} {agg['wall_seconds']:>12.3f}")
+    lines.append(f"  {'events':<20} {agg['events']:>12}")
+    lines.append(f"  {'events_per_second':<20} "
+                 f"{agg['events_per_second']:>12.0f}")
+    lines.append(f"  {'ckpt_restores':<20} {agg['ckpt_restores']:>12}")
+    lines.append(f"  {'trace_store_hits':<20} "
+                 f"{agg['trace_store_hits']:>12}")
+    slowest = sorted((j for j in summary.jobs if j.metrics),
+                     key=lambda j: -j.metrics["wall_seconds"])[:5]
+    if slowest:
+        lines.append("  slowest jobs:")
+        for job in slowest:
+            eps = job.metrics.get("events_per_second", 0.0)
+            lines.append(f"    {job.label:<48} "
+                         f"{job.metrics['wall_seconds']:>8.3f}s "
+                         f"{eps:>10.0f} ev/s")
+    return "\n".join(lines)
+
+
+def top_to_json(summary: RunSummary, top: int = 10) -> Dict[str, Any]:
+    """Stable machine-readable form of the ``top`` view."""
+    profiled = summary.profiled_jobs
+    total_wall = sum(j.profile["wall_seconds"] for j in profiled)
+    comps = sorted(summary.components().items(),
+                   key=lambda kv: -kv[1]["seconds"])[:top]
+    return {
+        "run_id": summary.run_id,
+        "profiled_jobs": len(profiled),
+        "wall_seconds": total_wall,
+        "components": [
+            {"name": name, "seconds": comp["seconds"],
+             "share": comp["seconds"] / total_wall if total_wall else 0.0,
+             "count": comp["count"]}
+            for name, comp in comps],
+    }
 
 
 def render_top(summary: RunSummary, top: int = 10) -> str:

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
 from ..envknobs import env_flag
+from . import trace as obs_trace
 
 #: Version of the runlog record layout (bump when fields change shape).
 RUNLOG_SCHEMA_VERSION = 1
@@ -72,6 +73,11 @@ class RunLogWriter:
     def emit(self, event: str, **payload: Any) -> None:
         record = {"ts": time.time(), "pid": os.getpid(), "seq": self._seq,
                   "event": event}
+        # Bind the installed trace context into every record so one
+        # request is reconstructable across server and worker shards.
+        context = obs_trace.current()
+        if context is not None:
+            record.update(context.fields())
         record.update(payload)
         self._seq += 1
         self._fh.write(json.dumps(record, sort_keys=True,
@@ -190,6 +196,12 @@ class RunLogTailer:
     dedups by the ``(ts, pid, seq)`` envelope — the merge step rewrites
     every shard record into ``runlog.jsonl``, and without the dedup a
     late subscriber's history replay would double every event.
+
+    A tracked file that is *replaced* mid-tail (rotated, or rewritten by
+    a merge reusing the name) is detected by inode change or size shrink
+    and re-read from the start instead of silently going quiet with a
+    stale offset; the ``(ts, pid, seq)`` dedup absorbs the re-read of
+    records already delivered.
     """
 
     #: Bound on the dedup window; old keys are forgotten in FIFO order
@@ -200,6 +212,7 @@ class RunLogTailer:
     def __init__(self, root: Optional[pathlib.Path] = None):
         self.root = pathlib.Path(root) if root is not None else obs_dir()
         self._offsets: Dict[pathlib.Path, int] = {}
+        self._inodes: Dict[pathlib.Path, int] = {}
         self._seen: "OrderedDict[tuple, None]" = OrderedDict()
 
     def _record_key(self, record: Dict[str, Any]) -> tuple:
@@ -215,10 +228,20 @@ class RunLogTailer:
         paths = sorted(self.root.glob("*/*.jsonl"))
         for stale in set(self._offsets) - set(paths):
             del self._offsets[stale]
+            self._inodes.pop(stale, None)
         for path in paths:
             offset = self._offsets.get(path, 0)
             try:
                 with open(path, "rb") as fh:
+                    stat = os.fstat(fh.fileno())
+                    if (self._inodes.get(path, stat.st_ino) != stat.st_ino
+                            or stat.st_size < offset):
+                        # Replaced (rotated/merged) or truncated file:
+                        # the remembered offset points into the *old*
+                        # contents, so restart from the top.  The
+                        # (ts, pid, seq) dedup drops any re-read lines.
+                        offset = 0
+                    self._inodes[path] = stat.st_ino
                     fh.seek(offset)
                     data = fh.read()
             except OSError:

@@ -23,8 +23,10 @@ from typing import Any, ContextManager, Dict, Optional, Sequence, Tuple, \
 from ..checkpoint import FORMAT_VERSION as CKPT_FORMAT_VERSION
 from ..checkpoint import CheckpointStore, checkpoint_enabled, get_store, \
     mark_interval
+from ..obs import metrics as obs_metrics
 from ..obs import profile as obs_profile
 from ..obs import runlog as obs_runlog
+from ..obs import trace as obs_trace
 from ..obs.profile import SpanProfiler
 from ..sim.config import SystemConfig
 from ..sim.multicore import MulticoreResult
@@ -328,15 +330,43 @@ class SimJob:
             # the per-process counters (all-zero unless
             # REPRO_TRACE_STREAM routes acquisition through the store).
             store1 = trace_store_stats()
+            wall = time.perf_counter() - t0
+            store_delta = {k: store1[k] - store0[k] for k in store1}
+            extra: Dict[str, Any] = {}
+            if obs_metrics.enabled():
+                # The job's metrics shard: it rides the runlog (which
+                # already crosses the process boundary and gets merged)
+                # instead of pushing to any shared registry.
+                extra["metrics"] = self._job_metrics(
+                    result, wall, restored, store_delta)
             log.emit("job_end", fingerprint=fp, kind=self.kind,
                      workloads=list(self.workloads), n=self.n,
                      prefetcher=self._label(),
-                     wall_seconds=time.perf_counter() - t0,
+                     wall_seconds=wall,
                      restored=restored,
-                     trace_store={k: store1[k] - store0[k]
-                                  for k in store1},
-                     profile=prof.report() if prof is not None else None)
+                     trace_store=store_delta,
+                     profile=prof.report() if prof is not None else None,
+                     **extra)
         return result
+
+    def _job_metrics(self, result: "JobResult", wall: float,
+                     restored: bool,
+                     store_delta: Dict[str, int]) -> Dict[str, Any]:
+        """The ``metrics`` section of this job's ``job_end`` record."""
+        if self.kind == SINGLE:
+            singles = [result.single]
+        else:
+            singles = list(result.multicore.cores)
+        events = sum(s.accesses for s in singles)
+        cycles = max((s.cycles for s in singles), default=0)
+        return {
+            "wall_seconds": wall,
+            "sim_cycles": cycles,
+            "events": events,
+            "events_per_second": events / wall if wall > 0 else 0.0,
+            "ckpt_restored": int(restored),
+            "trace_store_hits": int(store_delta.get("hits", 0)),
+        }
 
     def _execute_impl(self, prof: Optional[SpanProfiler]) \
             -> Tuple["JobResult", bool]:
@@ -438,9 +468,25 @@ class JobResult:
         return self.value
 
 
-def execute_job(job: SimJob) -> JobResult:
-    """Module-level entry point (picklable) for pool workers."""
-    return job.execute()
+def execute_job(job: SimJob,
+                traceparent: Optional[str] = None) -> JobResult:
+    """Module-level entry point (picklable) for pool workers.
+
+    ``traceparent`` is the submitting request's context in wire form
+    (strings cross the ``ProcessPoolExecutor`` boundary; frozen
+    dataclasses would too, but the wire form keeps one parse path with
+    the serve envelope).  The job runs under a *child* span of it, so
+    its runlog records and profiler spans carry the request's trace_id
+    with this hop's own span identity.
+    """
+    context = obs_trace.parse_or_none(traceparent)
+    if context is None or not obs_trace.enabled():
+        return job.execute()
+    previous = obs_trace.install(context.child())
+    try:
+        return job.execute()
+    finally:
+        obs_trace.install(previous)
 
 
 def prewarm_job(job: SimJob) -> bool:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..checkpoint import checkpoint_enabled, get_store
 from ..obs import profile as obs_profile
 from ..obs import runlog as obs_runlog
+from ..obs import trace as obs_trace
 from ..obs.progress import ProgressLine
 from .cache import ResultCache
 from .jobs import JobResult, SimJob, execute_job, prewarm_job
@@ -59,7 +60,10 @@ class SimRunner:
     def run_one(self, job: SimJob) -> JobResult:
         return self.run([job])[0]
 
-    def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+    def run(self, jobs: Sequence[SimJob],
+            contexts: Optional[Sequence[
+                Optional[obs_trace.TraceContext]]] = None
+            ) -> List[JobResult]:
         """Run a batch; returns results in input order.
 
         Profiled runs (``REPRO_PROFILE=1``) bypass the result cache in
@@ -67,14 +71,27 @@ class SimRunner:
         and a profiled result must not displace the golden cached one
         (``SimResult.profile`` would make it compare unequal to an
         unprofiled rerun).
+
+        ``contexts`` optionally carries one trace context per job (the
+        serve broker passes the submitting client's); when absent and
+        tracing is on, this call *is* the outermost entry point and the
+        whole batch runs under one freshly minted (or ambient) root.
+        Contexts are a pure observation channel — they never touch
+        fingerprints or results.
         """
         fingerprints = [job.fingerprint() for job in jobs]
+        if contexts is None:
+            root = obs_trace.ambient()
+            contexts = [root] * len(jobs)
+        elif len(contexts) != len(jobs):
+            raise ValueError("contexts must align 1:1 with jobs")
         profiled = obs_profile.enabled()
         # Dedup within the batch and against the cache.
         results: Dict[str, JobResult] = {}
         pending: Dict[str, SimJob] = {}
+        pending_ctx: Dict[str, Optional[obs_trace.TraceContext]] = {}
         before = self.cache.stats.snapshot()
-        for job, fp in zip(jobs, fingerprints):
+        for job, fp, context in zip(jobs, fingerprints, contexts):
             if fp in pending or fp in results:
                 continue
             cached = None if profiled else self.cache.get(fp)
@@ -82,6 +99,7 @@ class SimRunner:
                 results[fp] = cached
             else:
                 pending[fp] = job
+                pending_ctx[fp] = context
         if pending or results:
             # Fully cache-served batches still go through _execute (with
             # nothing to run) so the run log records them — a warm sweep
@@ -92,7 +110,10 @@ class SimRunner:
                 total=len(pending) + len(results),
                 memo_hits=after["memo_hits"] - before["memo_hits"],
                 disk_hits=after["disk_hits"] - before["disk_hits"],
-                evictions=after["evictions"] - before["evictions"])
+                evictions=after["evictions"] - before["evictions"],
+                contexts=[pending_ctx[fp] for fp in pending],
+                batch_context=next(
+                    (c for c in contexts if c is not None), None))
             for fp, result in zip(pending, executed):
                 results[fp] = result
                 if not profiled:
@@ -101,8 +122,38 @@ class SimRunner:
 
     def _execute(self, jobs: List[SimJob], total: Optional[int] = None,
                  memo_hits: int = 0, disk_hits: int = 0,
-                 evictions: int = 0) -> List[JobResult]:
+                 evictions: int = 0,
+                 contexts: Optional[List[
+                     Optional[obs_trace.TraceContext]]] = None,
+                 batch_context: Optional[obs_trace.TraceContext] = None
+                 ) -> List[JobResult]:
         total = len(jobs) if total is None else total
+        if contexts is None:
+            contexts = [None] * len(jobs)
+        # Batch-level records (run_start/run_end/prewarm/cache_evict)
+        # run under the first traced job's context; a multi-trace batch
+        # can only pin them to one trace, and "the request that caused
+        # this batch" is the first one.  ``batch_context`` covers the
+        # fully cache-served case (no pending jobs, so ``contexts`` is
+        # empty, but run_start/run_end still want the trace).
+        batch_ctx = next((c for c in contexts if c is not None),
+                         batch_context)
+        if batch_ctx is None:
+            return self._execute_batch(jobs, total, memo_hits, disk_hits,
+                                       evictions, contexts)
+        prev_ctx = obs_trace.install(batch_ctx)
+        try:
+            return self._execute_batch(jobs, total, memo_hits, disk_hits,
+                                       evictions, contexts)
+        finally:
+            obs_trace.install(prev_ctx)
+
+    def _execute_batch(self, jobs: List[SimJob], total: int,
+                       memo_hits: int, disk_hits: int, evictions: int,
+                       contexts: List[Optional[obs_trace.TraceContext]]
+                       ) -> List[JobResult]:
+        parents = [c.to_traceparent() if c is not None else None
+                   for c in contexts]
         log: Optional[obs_runlog.RunLog] = None
         writer: Optional[obs_runlog.RunLogWriter] = None
         if obs_runlog.enabled():
@@ -133,8 +184,10 @@ class SimRunner:
                     obs_runlog.init_worker(str(log.directory))
                 try:
                     results = []
-                    for job in jobs:
-                        results.append(job.execute())
+                    # Route through execute_job so the serial path mints
+                    # the same per-job child spans as pool workers.
+                    for job, tp in zip(jobs, parents):
+                        results.append(execute_job(job, tp))
                         line.update(done=line.done + 1)
                 finally:
                     if log is not None:
@@ -149,8 +202,8 @@ class SimRunner:
                 with ProcessPoolExecutor(max_workers=workers,
                                          initializer=initializer,
                                          initargs=initargs) as pool:
-                    futures = [pool.submit(execute_job, job)
-                               for job in jobs]
+                    futures = [pool.submit(execute_job, job, tp)
+                               for job, tp in zip(jobs, parents)]
                     for future in as_completed(futures):
                         future.result()  # surface worker failures now
                         line.update(done=line.done + 1)

@@ -17,6 +17,12 @@ client (``REPRO_SERVE_URL`` re-points experiment drivers at it).
 Served results are byte-identical to direct :class:`SimRunner` calls —
 the wire moves the same pickled :class:`JobResult` payloads the cache
 stores — pinned by ``tests/test_serve.py``.  See DESIGN.md §8.
+
+Observability (DESIGN.md §10): every submission can carry a
+``traceparent`` envelope key that follows the job through broker, pool
+worker, and runlog; ``GET /metrics`` exposes each instance's
+:class:`repro.obs.metrics.MetricsRegistry` in Prometheus text format,
+and ``GET /v1/healthz`` is the cheap load-balancer subset.
 """
 
 from .broker import BrokerStats, JobBroker

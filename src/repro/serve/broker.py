@@ -21,10 +21,13 @@ Two dedup layers sit in front of execution:
 from __future__ import annotations
 
 import asyncio
+import functools
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.trace import TraceContext
 from ..runner.cache import ResultCache
 from ..runner.jobs import JobResult, SimJob
 from ..runner.runner import SimRunner
@@ -54,8 +57,14 @@ class JobBroker:
         self.runner = runner if runner is not None else SimRunner()
         self.max_batch = max_batch
         self.stats = BrokerStats()
+        #: Set by the owning server to its queue-wait histogram's
+        #: ``observe`` — the broker measures, the server's registry owns
+        #: the series (keeping two in-process instances separate).
+        self.on_queue_wait: Optional[Callable[[float], None]] = None
         self._inflight: Dict[str, "asyncio.Future[JobResult]"] = {}
-        self._queue: "asyncio.Queue[Tuple[str, SimJob]]" = asyncio.Queue()
+        # Queue items: (fingerprint, job, submit context, enqueue time).
+        self._queue: "asyncio.Queue[Tuple[str, SimJob, "\
+            "Optional[TraceContext], float]]" = asyncio.Queue()
         # One thread: batches serialize, submissions accumulate behind
         # the running batch, and the runner's own process pool provides
         # the intra-batch parallelism.
@@ -66,6 +75,16 @@ class JobBroker:
     @property
     def cache(self) -> ResultCache:
         return self.runner.cache
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting in the queue (not yet drained into a batch)."""
+        return self._queue.qsize()
+
+    @property
+    def inflight_count(self) -> int:
+        """Jobs queued or executing whose futures are unresolved."""
+        return len(self._inflight)
 
     def start(self) -> None:
         if self._consumer is None:
@@ -89,11 +108,14 @@ class JobBroker:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, job: SimJob, fingerprint: str) \
+    def submit(self, job: SimJob, fingerprint: str,
+               context: Optional[TraceContext] = None) \
             -> "asyncio.Future[JobResult]":
         """Route one job; returns a future for its result.
 
         Must run on the event-loop thread (the HTTP handlers do).
+        ``context`` is the submitting request's trace hop; it rides the
+        queue so the runner executes the job under the client's trace.
         """
         self.stats.submitted += 1
         inflight = self._inflight.get(fingerprint)
@@ -109,7 +131,8 @@ class JobBroker:
             return future
         self.stats.enqueued += 1
         self._inflight[fingerprint] = future
-        self._queue.put_nowait((fingerprint, job))
+        self._queue.put_nowait((fingerprint, job, context,
+                                time.monotonic()))
         return future
 
     def is_inflight(self, fingerprint: str) -> bool:
@@ -134,7 +157,8 @@ class JobBroker:
 
     async def _consume(self) -> None:
         while True:
-            batch: List[Tuple[str, SimJob]] = [await self._queue.get()]
+            batch: List[Tuple[str, SimJob, Optional[TraceContext],
+                              float]] = [await self._queue.get()]
             while len(batch) < self.max_batch:
                 try:
                     batch.append(self._queue.get_nowait())
@@ -142,23 +166,30 @@ class JobBroker:
                     break
             await self._run_batch(batch)
 
-    async def _run_batch(self, batch: List[Tuple[str, SimJob]]) -> None:
+    async def _run_batch(self, batch: List[Tuple[
+            str, SimJob, Optional[TraceContext], float]]) -> None:
         loop = asyncio.get_running_loop()
-        jobs = [job for _, job in batch]
+        jobs = [job for _, job, _, _ in batch]
+        contexts = [context for _, _, context, _ in batch]
+        if self.on_queue_wait is not None:
+            drained = time.monotonic()
+            for _, _, _, enqueued_at in batch:
+                self.on_queue_wait(drained - enqueued_at)
         self.stats.batches += 1
         try:
             results = await loop.run_in_executor(
-                self._pool, self.runner.run, jobs)
+                self._pool, functools.partial(
+                    self.runner.run, jobs, contexts=contexts))
         except Exception as exc:  # surface to every waiter, keep serving
             self.stats.failures += len(batch)
-            for fingerprint, _ in batch:
+            for fingerprint, _, _, _ in batch:
                 future = self._inflight.pop(fingerprint, None)
                 if future is not None and not future.done():
                     future.set_exception(
                         RuntimeError(f"job execution failed: {exc}"))
             return
         self.stats.executed += len(batch)
-        for (fingerprint, _), result in zip(batch, results):
+        for (fingerprint, _, _, _), result in zip(batch, results):
             future = self._inflight.pop(fingerprint, None)
             if future is not None and not future.done():
                 future.set_result(result)

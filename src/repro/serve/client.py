@@ -23,6 +23,7 @@ import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..envknobs import env_url
+from ..obs import trace as obs_trace
 from ..runner.jobs import JobResult, SimJob
 from .wire import WIRE_VERSION, WireError, job_to_wire, result_from_wire
 
@@ -51,6 +52,9 @@ class ServeClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.poll_timeout = poll_timeout
+        #: The trace context of the most recent :meth:`submit` — the
+        #: handle callers pass to ``python -m repro.obs report --trace``.
+        self.last_context: Optional[obs_trace.TraceContext] = None
 
     # -- low-level HTTP --------------------------------------------------------
 
@@ -102,6 +106,11 @@ class ServeClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request(f"{self.base_url}/healthz")
 
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/healthz`` load-balancer view: shard identity,
+        queue depth, in-flight count, cache stats."""
+        return self._request(f"{self.base_url}/v1/healthz")
+
     def stats(self) -> Dict[str, Any]:
         return self._request(f"{self.base_url}/v1/stats")
 
@@ -112,7 +121,14 @@ class ServeClient:
         submitted once and fan back out.  Jobs rejected as out-of-shard
         are re-posted to the owner the server named, and each result is
         long-polled at the address that accepted its job.
+
+        This is an outermost tracing entry point: one root context is
+        minted per call (or inherited from an installed ambient one)
+        and sent with every job's wire envelope, so the whole batch —
+        across every shard it lands on — shares one trace_id
+        (``self.last_context`` keeps the handle).
         """
+        self.last_context = obs_trace.ambient()
         fingerprints = [job.fingerprint() for job in jobs]
         unique: Dict[str, SimJob] = {}
         for job, fingerprint in zip(jobs, fingerprints):
@@ -125,6 +141,8 @@ class ServeClient:
     def _place(self, unique: Dict[str, SimJob]) -> Dict[str, str]:
         """Post every unique job until some instance accepts it;
         returns fingerprint -> accepting base URL."""
+        traceparent = self.last_context.to_traceparent() \
+            if self.last_context is not None else None
         owners: Dict[str, str] = {}
         to_place = {self.base_url: list(unique.items())}
         hops = 0
@@ -136,7 +154,8 @@ class ServeClient:
                     "about ownership?)")
             url, entries = to_place.popitem()
             payload = {"wire": WIRE_VERSION,
-                       "jobs": [job_to_wire(job) for _, job in entries]}
+                       "jobs": [job_to_wire(job, traceparent)
+                                for _, job in entries]}
             reply = self._request(f"{url}/v1/jobs", body=payload)
             for (fingerprint, job), status in zip(entries,
                                                   reply.get("jobs", [])):

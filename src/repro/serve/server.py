@@ -16,6 +16,16 @@ A deliberately small HTTP/1.1 implementation over
   ``repro.obs`` runlog (``?fingerprint=<fp>`` filters to one job);
   delivers ``job_start``/``job_end``/``prewarm``/``run_*`` records to
   any number of concurrent clients while batches execute.
+* ``GET  /v1/healthz``               — the load-balancer subset:
+  shard identity, queue depth, in-flight count, cache stats as JSON.
+* ``GET  /metrics``                  — Prometheus text exposition of
+  this instance's :class:`repro.obs.metrics.MetricsRegistry`: broker
+  and cache counters are *pulled* from their already-monotone stats at
+  render time; per-job series (wall time, events/s, restores) are
+  *folded* from tailed ``job_end`` runlog records, which is how worker
+  processes ship their metrics shard across the process boundary.
+  Broker/cache series are instance-local; folded job series cover every
+  run under the obs root this instance tails.
 
 Sharding: with a :class:`repro.serve.wire.ShardMap`, this instance owns
 a deterministic hash-mod slice of the fingerprint keyspace and rejects
@@ -34,7 +44,9 @@ import socket
 from typing import Any, Dict, List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import metrics as obs_metrics
 from ..obs import runlog as obs_runlog
+from ..obs import trace as obs_trace
 from ..version import __version__
 from .broker import JobBroker
 from .wire import (WIRE_VERSION, ShardMap, WireError, job_from_wire,
@@ -83,6 +95,113 @@ class Server:
         self._subscribers: Set[Tuple[asyncio.Queue, Optional[str]]] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._tail_task: Optional["asyncio.Task[None]"] = None
+        self.metrics_on = obs_metrics.enabled()
+        self.metrics = self._build_registry()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _build_registry(self) -> obs_metrics.MetricsRegistry:
+        """This instance's metric series.
+
+        Broker and cache series are pull collectors over counters their
+        owners already maintain monotonically — no hot-path
+        instrumentation, and each in-process ``Server`` reads *its own*
+        broker, so two instances of a test shard ring never merge.
+        """
+        registry = obs_metrics.MetricsRegistry()
+        broker = self.broker
+        registry.counter(
+            "repro_broker_jobs_total",
+            "jobs executed by this instance's runner (cold work)",
+            fn=lambda: broker.stats.executed)
+        registry.counter(
+            "repro_broker_submitted_total",
+            "jobs received after wire decode",
+            fn=lambda: broker.stats.submitted)
+        registry.counter(
+            "repro_broker_joined_total",
+            "jobs that shared an already-in-flight execution",
+            fn=lambda: broker.stats.joined)
+        registry.counter(
+            "repro_broker_batches_total",
+            "consumer drains handed to the runner",
+            fn=lambda: broker.stats.batches)
+        registry.counter(
+            "repro_broker_failures_total",
+            "jobs whose execution raised",
+            fn=lambda: broker.stats.failures)
+        registry.counter(
+            "repro_cache_hits_total",
+            "jobs resolved straight from the result cache (cache-aside)",
+            fn=lambda: broker.stats.cache_hits)
+        registry.counter(
+            "repro_cache_memo_hits_total",
+            "result-cache in-memory hits",
+            fn=lambda: broker.cache.stats.memo_hits)
+        registry.counter(
+            "repro_cache_disk_hits_total",
+            "result-cache on-disk hits",
+            fn=lambda: broker.cache.stats.disk_hits)
+        registry.counter(
+            "repro_cache_misses_total",
+            "result-cache misses",
+            fn=lambda: broker.cache.stats.misses)
+        registry.counter(
+            "repro_cache_evictions_total",
+            "corrupt result-cache entries evicted on read",
+            fn=lambda: broker.cache.stats.evictions)
+        registry.gauge(
+            "repro_broker_queue_depth",
+            "jobs waiting in the broker queue",
+            fn=lambda: broker.queue_depth)
+        registry.gauge(
+            "repro_broker_inflight_jobs",
+            "jobs queued or executing with unresolved futures",
+            fn=lambda: broker.inflight_count)
+        registry.gauge(
+            "repro_serve_sse_clients",
+            "connected /v1/events subscribers",
+            fn=lambda: len(self._subscribers))
+        queue_wait = registry.histogram(
+            "repro_broker_queue_wait_seconds",
+            "seconds a job waited in the queue before its batch drained")
+        broker.on_queue_wait = queue_wait.observe
+        # Folded from tailed job_end records (the workers' metric
+        # shards): see _fold_record.
+        registry.histogram(
+            "repro_job_wall_seconds",
+            "per-job wall-clock execution seconds")
+        registry.counter(
+            "repro_job_events_total",
+            "simulated accesses across completed jobs")
+        registry.counter(
+            "repro_ckpt_restores_total",
+            "jobs that restored a warm-up/progress checkpoint")
+        registry.counter(
+            "repro_trace_store_hits_total",
+            "on-disk trace store hits across completed jobs")
+        registry.gauge(
+            "repro_engine_events_per_second",
+            "simulated accesses per wall second of the last folded job")
+        return registry
+
+    def _fold_record(self, record: Dict[str, Any]) -> None:
+        """Fold one tailed ``job_end`` record's metrics section in."""
+        if record.get("event") != "job_end":
+            return
+        section = record.get("metrics")
+        if not isinstance(section, dict):
+            return
+        wall = float(section.get("wall_seconds", 0.0))
+        self.metrics.get("repro_job_wall_seconds").observe(wall)
+        self.metrics.get("repro_job_events_total").inc(
+            float(section.get("events", 0)))
+        self.metrics.get("repro_ckpt_restores_total").inc(
+            float(section.get("ckpt_restored", 0)))
+        self.metrics.get("repro_trace_store_hits_total").inc(
+            float(section.get("trace_store_hits", 0)))
+        self.metrics.get("repro_engine_events_per_second").set(
+            float(section.get("events_per_second", 0.0)))
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -93,6 +212,14 @@ class Server:
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.metrics_on:
+            # Prime the tailer past pre-existing runlogs: folded job
+            # metrics are live-only, not a replay of every old run
+            # under the obs root.  (SSE semantics are unchanged — the
+            # tail loop only dispatched to subscribers that existed
+            # when a record was polled, so history was never theirs.)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._tailer.poll)
         self._tail_task = asyncio.get_running_loop().create_task(
             self._tail_loop())
 
@@ -124,11 +251,13 @@ class Server:
     async def _tail_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            if self._subscribers:
+            if self._subscribers or self.metrics_on:
                 # File I/O off the loop thread; records fan out on it.
                 records = await loop.run_in_executor(
                     None, self._tailer.poll)
                 for record in records:
+                    if self.metrics_on:
+                        self._fold_record(record)
                     self._dispatch(record)
             await asyncio.sleep(self.poll_interval)
 
@@ -199,12 +328,31 @@ class Server:
         writer.write(head + body)
         await writer.drain()
 
+    async def _send_text(self, writer: asyncio.StreamWriter, status: int,
+                         text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
     # -- routing ---------------------------------------------------------------
 
     async def _route(self, method: str, path: str, query: Dict[str, str],
                      body: bytes, writer: asyncio.StreamWriter) -> None:
         if path == "/healthz" and method == "GET":
             await self._send_json(writer, 200, self._describe())
+        elif path == "/v1/healthz" and method == "GET":
+            await self._send_json(writer, 200, self._health())
+        elif path == "/metrics" and method == "GET":
+            if not self.metrics_on:
+                raise _HttpError(404, "metrics disabled "
+                                      "(REPRO_METRICS=0)")
+            await self._send_text(
+                writer, 200, self.metrics.render(),
+                "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/v1/stats" and method == "GET":
             await self._send_json(writer, 200, {
                 "broker": self.broker.stats.snapshot(),
@@ -232,6 +380,16 @@ class Server:
                 "shard": self.shard_map.describe()
                 if self.shard_map else None,
                 "workers": self.broker.runner.workers}
+
+    def _health(self) -> Dict[str, Any]:
+        """The load-balancer subset: cheap gauges, no histogram walk."""
+        return {"status": "ok",
+                "shard": self.shard_map.describe()
+                if self.shard_map else None,
+                "queue_depth": self.broker.queue_depth,
+                "inflight": self.broker.inflight_count,
+                "cache": self.broker.cache.stats.snapshot(),
+                "subscribers": len(self._subscribers)}
 
     async def _handle_jobs(self, body: bytes,
                            writer: asyncio.StreamWriter) -> None:
@@ -261,8 +419,18 @@ class Server:
                     "status": "rejected", "fingerprint": fingerprint,
                     "owner": self.shard_map.owner_of(fingerprint)})
                 continue
+            # The optional traceparent envelope key: this hop runs as a
+            # *child* span of the client's context, so the runlog shows
+            # client -> server -> job causality.  Absent or malformed
+            # values (old clients, junk) simply mean an untraced job.
+            context = None
+            if obs_trace.enabled():
+                parent = obs_trace.parse_or_none(
+                    entry.get("traceparent")
+                    if isinstance(entry, dict) else None)
+                context = parent.child() if parent is not None else None
             was_inflight = self.broker.is_inflight(fingerprint)
-            future = self.broker.submit(job, fingerprint)
+            future = self.broker.submit(job, fingerprint, context)
             status = "cached" if future.done() \
                 else ("joined" if was_inflight else "accepted")
             statuses.append({"status": status, "fingerprint": fingerprint})

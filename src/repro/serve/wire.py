@@ -55,10 +55,21 @@ class WireError(ValueError):
 
 # -- jobs ----------------------------------------------------------------------
 
-def job_to_wire(job: SimJob) -> Dict[str, Any]:
-    """Encode one job: its canonical form plus the claimed fingerprint."""
-    return {"wire": WIRE_VERSION, "job": job.canonical(),
-            "fingerprint": job.fingerprint()}
+def job_to_wire(job: SimJob,
+                traceparent: Optional[str] = None) -> Dict[str, Any]:
+    """Encode one job: its canonical form plus the claimed fingerprint.
+
+    ``traceparent`` (the submitting request's ``repro.obs.trace``
+    context in W3C string form) rides the envelope as an *optional*
+    key: old servers never look for it, old clients never send it, and
+    it stays outside the fingerprinted ``job`` object — tracing must
+    not split cache entries.
+    """
+    payload = {"wire": WIRE_VERSION, "job": job.canonical(),
+               "fingerprint": job.fingerprint()}
+    if traceparent:
+        payload["traceparent"] = traceparent
+    return payload
 
 
 def _spec_from(payload: Optional[Dict[str, Any]]) \

@@ -1,5 +1,5 @@
 """Observability subsystem: profiler purity, span trees, run logs,
-progress, knobs, and the report CLI."""
+progress, knobs, trace contexts, metrics, and the report CLI."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import dataclasses
 import io
 import json
 import os
+import pickle
 import subprocess
 import sys
 import pathlib
@@ -14,7 +15,7 @@ import pathlib
 import pytest
 
 from repro.envknobs import env_flag, env_int
-from repro.obs import profile, progress, report, runlog
+from repro.obs import metrics, profile, progress, report, runlog, trace
 from repro.runner import SimJob, SimRunner, spec
 from repro.runner.cache import ResultCache
 from repro.sim.config import SystemConfig
@@ -374,6 +375,55 @@ class TestReportCli:
         assert proc.returncode == 1
         assert "no run matches" in proc.stderr
 
+    def _cli(self, sweep_dir, *args):
+        env = dict(os.environ,
+                   REPRO_OBS_DIR=str(sweep_dir),
+                   PYTHONPATH=str(pathlib.Path("src").resolve()))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs"] + list(args),
+            env=env, capture_output=True, text=True, timeout=120)
+
+    def test_cli_list_columns(self, sweep_dir):
+        proc = self._cli(sweep_dir, "list")
+        assert proc.returncode == 0, proc.stderr
+        header, row = proc.stdout.splitlines()[:2]
+        for column in ("run", "started", "jobs", "exec", "cache",
+                       "shards", "prof", "wall"):
+            assert column in header
+        run_id = runlog.list_runs(sweep_dir)[0].name
+        assert row.startswith(run_id)
+        assert " 4 " in row  # job count
+
+    def test_cli_json_surfaces(self, sweep_dir):
+        rep = json.loads(self._cli(sweep_dir, "report",
+                                   "--json").stdout)
+        assert rep["jobs"] == 4 and rep["executed"] == 4
+        assert rep["shards"] >= 1 and rep["started"] > 0
+        assert len(rep["slowest_jobs"]) == 4
+        assert rep["metrics"]["jobs_with_metrics"] == 4
+        top = json.loads(self._cli(sweep_dir, "top", "--json").stdout)
+        assert top["profiled_jobs"] == 4 and top["components"]
+        met = self._cli(sweep_dir, "metrics")
+        assert met.returncode == 0 and "events" in met.stdout
+        met_json = json.loads(self._cli(sweep_dir, "metrics",
+                                        "--json").stdout)
+        assert met_json["jobs_with_metrics"] == 4
+        assert met_json["run_id"] == runlog.list_runs(sweep_dir)[0].name
+
+    def test_cli_trace(self, sweep_dir):
+        records = runlog.load_runlog(
+            runlog.list_runs(sweep_dir)[0] / runlog.MERGED)
+        trace_id = records[0]["trace_id"]
+        proc = self._cli(sweep_dir, "report", "--trace", trace_id[:10])
+        assert proc.returncode == 0, proc.stderr
+        assert f"trace {trace_id}" in proc.stdout
+        payload = json.loads(self._cli(
+            sweep_dir, "report", "--trace", trace_id, "--json").stdout)
+        assert payload["trace_id"] == trace_id
+        missing = self._cli(sweep_dir, "report", "--trace", "f" * 32)
+        assert missing.returncode == 1
+        assert "no records carry trace" in missing.stderr
+
 
 # -- runlog tailer (the serve event stream's source) ---------------------------
 
@@ -427,6 +477,315 @@ class TestRunLogTailer:
         tailer = runlog.RunLogTailer(tmp_path)
         assert [(r["ts"], r["pid"]) for r in tailer.poll()] == \
             [(3.0, 2), (5.0, 1)]
+
+    def test_rotated_shard_is_reopened_and_reread(self, tmp_path):
+        # A log manager replacing the file under the tailer (new inode)
+        # must not wedge the stream on the remembered offset.
+        shard = tmp_path / "run1" / "worker-1.jsonl"
+        self._emit(shard, 1, 0)
+        self._emit(shard, 1, 1)
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert [r["seq"] for r in tailer.poll()] == [0, 1]
+        shard.unlink()
+        self._emit(shard, 1, 7)  # shorter than the old offset
+        assert [r["seq"] for r in tailer.poll()] == [7]
+
+    def test_truncated_shard_is_reread_from_start(self, tmp_path):
+        # Same inode, shrunk size (copytruncate-style rotation): the
+        # offset is reset and the (ts, pid, seq) dedup absorbs any
+        # record that survived the truncation.
+        shard = tmp_path / "run1" / "worker-1.jsonl"
+        self._emit(shard, 1, 0)
+        self._emit(shard, 1, 1)
+        tailer = runlog.RunLogTailer(tmp_path)
+        assert len(tailer.poll()) == 2
+        first = shard.read_text().splitlines()[0]
+        shard.write_text(first + "\n")  # truncate to the first record
+        assert tailer.poll() == []  # replay deduped
+        self._emit(shard, 1, 9)
+        assert [r["seq"] for r in tailer.poll()] == [9]
+
+
+# -- trace contexts ------------------------------------------------------------
+
+class TestTraceContext:
+    def test_traceparent_roundtrip(self):
+        context = trace.new_context()
+        parsed = trace.from_traceparent(context.to_traceparent())
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+        assert parsed.parent_span is None
+
+    def test_child_keeps_trace_and_records_parent(self):
+        root = trace.new_context()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_span == root.span_id
+        fields = child.fields()
+        assert fields["trace_id"] == root.trace_id
+        assert fields["parent_span"] == root.span_id
+        assert "parent_span" not in root.fields()
+
+    @pytest.mark.parametrize("junk", [
+        "", "junk", "00-dead-beef-01",
+        "00-" + "g" * 32 + "-" + "0" * 15 + "1-01",   # non-hex
+        "01-" + "a" * 32 + "-" + "b" * 16 + "-01",    # wrong version
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",    # short trace id
+    ])
+    def test_malformed_traceparent(self, junk):
+        with pytest.raises(ValueError, match="traceparent"):
+            trace.from_traceparent(junk)
+        assert trace.parse_or_none(junk) is None
+        assert trace.parse_or_none(None) is None
+
+    def test_context_validation(self):
+        with pytest.raises(ValueError, match="trace_id"):
+            trace.TraceContext("0" * 32, "1" * 16)  # all-zero forbidden
+        with pytest.raises(ValueError, match="span_id"):
+            trace.TraceContext("a" * 32, "0" * 16)
+        with pytest.raises(ValueError, match="trace_id"):
+            trace.TraceContext("abc", "1" * 16)
+
+    def test_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace.enabled()
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not trace.enabled()
+        assert trace.ambient() is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace.enabled()
+        monkeypatch.setenv("REPRO_TRACE", "maybe")
+        with pytest.raises(ValueError, match="REPRO_TRACE"):
+            trace.enabled()
+
+    def test_install_restore_and_ambient(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        context = trace.new_context()
+        previous = trace.install(context)
+        try:
+            assert trace.current() is context
+            # With a context installed, ambient inherits instead of
+            # minting a new root.
+            assert trace.ambient() is context
+        finally:
+            trace.install(previous)
+        assert trace.current() is previous
+        trace.uninstall()
+        assert trace.current() is None
+        # Nothing installed: each ambient() call is a fresh root.
+        assert trace.ambient().trace_id != trace.ambient().trace_id
+
+
+# -- metrics registry ----------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_naming_convention_enforced(self):
+        registry = metrics.MetricsRegistry()
+        with pytest.raises(ValueError, match="convention"):
+            registry.counter("bad_name_total", "no repro_ prefix")
+        with pytest.raises(ValueError, match="convention"):
+            registry.gauge("repro_Depth", "uppercase")
+        with pytest.raises(ValueError, match="_total"):
+            registry.counter("repro_cache_hits", "counter sans _total")
+        with pytest.raises(ValueError, match="_total"):
+            registry.histogram("repro_job_wall_total", "histogram")
+        registry.counter("repro_cache_hits_total", "ok")
+        with pytest.raises(ValueError, match="already"):
+            registry.counter("repro_cache_hits_total", "dup")
+
+    def test_counter_semantics(self):
+        registry = metrics.MetricsRegistry()
+        c = registry.counter("repro_test_things_total", "things")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        pull = registry.counter("repro_test_pulled_total", "pulled",
+                                fn=lambda: 41)
+        assert pull.value() == 41
+        with pytest.raises(RuntimeError, match="pull"):
+            pull.inc()
+
+    def test_gauge_and_histogram(self):
+        registry = metrics.MetricsRegistry()
+        g = registry.gauge("repro_test_depth_jobs", "depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+        h = registry.histogram("repro_test_wait_seconds", "wait",
+                               buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 30.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 2, 1]  # per-bucket, +Inf last
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(31.05)
+        samples = dict(h.samples())
+        assert samples['repro_test_wait_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_test_wait_seconds_bucket{le="1"}'] == 3
+        assert samples['repro_test_wait_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["repro_test_wait_seconds_count"] == 4
+
+    def test_render_parses_as_prometheus_text(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("repro_test_hits_total", "hits").inc(7)
+        registry.gauge("repro_test_depth_jobs", "queue depth").set(2)
+        registry.histogram("repro_test_wait_seconds", "wait",
+                           buckets=(1.0,)).observe(0.5)
+        families = metrics.parse_text(registry.render())
+        assert families["repro_test_hits_total"]["type"] == "counter"
+        assert families["repro_test_hits_total"]["samples"][
+            "repro_test_hits_total"] == 7
+        assert families["repro_test_depth_jobs"]["type"] == "gauge"
+        hist = families["repro_test_wait_seconds"]
+        assert hist["type"] == "histogram"
+        assert hist["samples"][
+            'repro_test_wait_seconds_bucket{le="+Inf"}'] == 1
+        assert hist["samples"]["repro_test_wait_seconds_sum"] == 0.5
+
+    def test_parse_text_lints(self):
+        with pytest.raises(ValueError, match="before its"):
+            metrics.parse_text("repro_orphan_total 3\n")
+        with pytest.raises(ValueError, match="unknown TYPE"):
+            metrics.parse_text("# HELP repro_x_total x\n"
+                               "# TYPE repro_x_total summary\n")
+        with pytest.raises(ValueError, match="negative"):
+            metrics.parse_text("# HELP repro_x_total x\n"
+                               "# TYPE repro_x_total counter\n"
+                               "repro_x_total -1\n")
+        with pytest.raises(ValueError, match="missing"):
+            metrics.parse_text("# HELP repro_x_total x\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            metrics.parse_text("# HELP repro_x_total x\n"
+                               "# TYPE repro_x_total counter\n"
+                               "repro_x_total lots\n")
+
+    def test_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert metrics.enabled()
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        assert not metrics.enabled()
+        monkeypatch.setenv("REPRO_METRICS", "loud")
+        with pytest.raises(ValueError, match="REPRO_METRICS"):
+            metrics.enabled()
+
+
+# -- trace propagation through the runner --------------------------------------
+
+class TestTracePropagation:
+    def _sweep(self, workers: int, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        jobs = [_tiny_job(wl, pf) for wl in ("gap.pr", "gap.bfs")
+                for pf in ("stride", "streamline")]
+        root = trace.new_context()
+        previous = trace.install(root)
+        try:
+            SimRunner(jobs=workers,
+                      cache=ResultCache(persistent=False)).run(jobs)
+        finally:
+            trace.install(previous)
+        runs = runlog.list_runs(tmp_path)
+        assert len(runs) == 1
+        return root, runlog.load_runlog(runs[0] / runlog.MERGED)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_trace_id_on_every_record(self, workers, tmp_path,
+                                          monkeypatch):
+        root, records = self._sweep(workers, tmp_path, monkeypatch)
+        assert records
+        assert {r["trace_id"] for r in records} == {root.trace_id}
+        # Batch records run under the root's span; each job is a child
+        # span parented to its submitter's span.
+        batch = next(r for r in records if r["event"] == "run_start")
+        assert batch["span_id"] == root.span_id
+        ends = [r for r in records if r["event"] == "job_end"]
+        assert len(ends) == 4
+        for r in ends:
+            assert r["span_id"] != root.span_id
+            assert r["parent_span"] == root.span_id
+
+    def test_collect_and_render_trace(self, tmp_path, monkeypatch):
+        root, records = self._sweep(2, tmp_path, monkeypatch)
+        collected = report.collect_trace(root.trace_id[:12],
+                                         root=tmp_path)
+        assert len(collected) == len(records)
+        tree = report.trace_tree(collected)
+        assert len(tree) == 1  # the batch span roots the whole request
+        assert {c["records"][0]["event"] for c in tree[0]["children"]} \
+            <= {"job_start", "job_end"}
+        text = report.render_trace(root.trace_id, collected)
+        assert f"trace {root.trace_id}" in text
+        assert "job gap.pr" in text
+        payload = report.trace_to_json(root.trace_id, collected)
+        assert payload["trace_id"] == root.trace_id
+        assert payload["spans"][0]["children"]
+
+    def test_trace_off_leaves_records_clean_and_results_identical(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        jobs = [_tiny_job("gap.pr", pf)
+                for pf in ("stride", "streamline")]
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        off = SimRunner(jobs=1,
+                        cache=ResultCache(persistent=False)).run(jobs)
+        for r in runlog.load_runlog(
+                runlog.list_runs(tmp_path)[-1] / runlog.MERGED):
+            assert "trace_id" not in r and "span_id" not in r
+            assert "metrics" not in r
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        on = SimRunner(jobs=1,
+                       cache=ResultCache(persistent=False)).run(jobs)
+        # The observation plane never perturbs simulation results.
+        assert [pickle.dumps(r) for r in on] == \
+            [pickle.dumps(r) for r in off]
+
+    def test_profiler_spans_carry_the_trace(self, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        root = trace.new_context()
+        previous = trace.install(root)
+        try:
+            SimRunner(jobs=1, cache=ResultCache(persistent=False)).run(
+                [_tiny_job()])
+        finally:
+            trace.install(previous)
+        records = runlog.load_runlog(
+            runlog.list_runs(tmp_path)[-1] / runlog.MERGED)
+        end = next(r for r in records if r["event"] == "job_end")
+        assert end["trace_id"] == root.trace_id
+        payload = end["profile"]
+        assert payload["enabled"]
+        # The profiler stamps the job's own span, not the batch root's.
+        assert payload["trace_id"] == root.trace_id
+        assert payload["span_id"] == end["span_id"] != root.span_id
+
+    def test_job_end_metrics_section(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        SimRunner(jobs=1, cache=ResultCache(persistent=False)).run(
+            [_tiny_job()])
+        records = runlog.load_runlog(
+            runlog.list_runs(tmp_path)[-1] / runlog.MERGED)
+        end = next(r for r in records if r["event"] == "job_end")
+        section = end["metrics"]
+        assert section["events"] > 0
+        assert section["sim_cycles"] > 0
+        assert section["wall_seconds"] == pytest.approx(
+            end["wall_seconds"])
+        assert section["events_per_second"] > 0
+        assert section["ckpt_restored"] == 0
 
 
 # -- cache evictions in the run log --------------------------------------------

@@ -15,11 +15,16 @@ import json
 import pickle
 import threading
 import time
+import urllib.request
 from typing import Dict, List, Optional
 
 import pytest
 
 from repro.experiments.common import experiment_config, serve_runner
+from repro.obs import metrics as obs_metrics
+from repro.obs import report as obs_report
+from repro.obs import runlog as obs_runlog
+from repro.obs import trace as obs_trace
 from repro.runner import JobResult, ResultCache, SimJob, SimRunner, spec
 from repro.serve import (JobBroker, ServeClient, Server, ServerThread,
                          ShardMap, WireError, job_from_wire, job_to_wire,
@@ -227,10 +232,10 @@ class _GatedRunner:
     def workers(self) -> int:
         return 1
 
-    def run(self, jobs):
+    def run(self, jobs, contexts=None):
         self.executed.extend(job.fingerprint() for job in jobs)
         assert self.gate.wait(timeout=60.0), "test gate never released"
-        return self.inner.run(jobs)
+        return self.inner.run(jobs, contexts=contexts)
 
 
 class TestInflightDedup:
@@ -470,3 +475,177 @@ class TestServeKnobs:
             ("http://a:1", "http://b:2")
         monkeypatch.delenv("REPRO_SERVE_SHARDS")
         assert env_url_list("REPRO_SERVE_SHARDS") is None
+
+
+# -- observability plane: /metrics, /v1/healthz, trace propagation -------------
+
+def _metrics_text(url: str):
+    """GET /metrics raw: ``(content_type, text)``."""
+    with urllib.request.urlopen(f"{url}/metrics", timeout=30.0) as resp:
+        return resp.headers.get("Content-Type", ""), \
+            resp.read().decode("utf-8")
+
+
+def _obs_records(obs_dir) -> List[dict]:
+    records: List[dict] = []
+    for run_dir in obs_runlog.list_runs(obs_dir):
+        records.extend(obs_runlog.load_runlog(run_dir / obs_runlog.MERGED))
+    return records
+
+
+class TestObservabilityPlane:
+    def test_v1_healthz(self):
+        thread = _server()
+        try:
+            health = ServeClient(thread.url).health()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+            assert health["inflight"] == 0
+            assert health["subscribers"] == 0
+            assert "memo_hits" in health["cache"]
+        finally:
+            thread.stop()
+
+    def test_metrics_lint_and_exact_runlog_match(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        jobs = _matrix_jobs()[:4]
+        thread = _server(obs_root=tmp_path / "obs")
+        try:
+            client = ServeClient(thread.url, timeout=120.0)
+            client.submit(jobs)
+            content_type, text = _metrics_text(thread.url)
+            assert content_type.startswith("text/plain")
+            families = obs_metrics.parse_text(text)  # the format lint
+
+            def value(name: str, sample: Optional[str] = None) -> float:
+                return families[name]["samples"][sample or name]
+
+            # The acceptance protocol: a cold batch of K unique jobs
+            # must count exactly K, matching the runlog's job_end count.
+            ends = [r for r in _obs_records(tmp_path / "obs")
+                    if r.get("event") == "job_end"]
+            assert value("repro_broker_jobs_total") == len(jobs)
+            assert len(ends) == len(jobs)
+            assert value("repro_cache_hits_total") == 0
+            assert value("repro_serve_sse_clients") == 0
+
+            # Warm resubmit: K cache hits, zero new executions, zero
+            # new job_end records.
+            client.submit(jobs)
+            _, text = _metrics_text(thread.url)
+            families = obs_metrics.parse_text(text)
+            assert value("repro_broker_jobs_total") == len(jobs)
+            assert value("repro_cache_hits_total") == len(jobs)
+            ends = [r for r in _obs_records(tmp_path / "obs")
+                    if r.get("event") == "job_end"]
+            assert len(ends) == len(jobs)
+
+            # The tailer folds job_end metrics sections into the
+            # registry (poll interval 0.05s in this harness).
+            deadline = time.monotonic() + 30.0
+            while True:
+                _, text = _metrics_text(thread.url)
+                families = obs_metrics.parse_text(text)
+                if value("repro_job_wall_seconds",
+                         "repro_job_wall_seconds_count") == len(jobs):
+                    break
+                assert time.monotonic() < deadline, \
+                    "job_end metrics never folded into the registry"
+                time.sleep(0.05)
+            assert value("repro_job_events_total") > 0
+        finally:
+            thread.stop()
+
+    def test_trace_propagates_through_single_instance(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        jobs = _matrix_jobs()[:2]
+        thread = _server(obs_root=tmp_path / "obs")
+        try:
+            client = ServeClient(thread.url, timeout=120.0)
+            client.submit(jobs)
+            trace_id = client.last_context.trace_id
+            records = _obs_records(tmp_path / "obs")
+            assert records
+            # Every record of the run — batch and job alike — carries
+            # the client's trace id.
+            assert {r.get("trace_id") for r in records} == {trace_id}
+            ends = [r for r in records if r.get("event") == "job_end"]
+            assert len(ends) == len(jobs)
+            for r in ends:
+                assert r["parent_span"]  # a child of the server hop
+        finally:
+            thread.stop()
+
+    def test_trace_reconstructs_across_two_shard_ring(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        jobs = _matrix_jobs()
+        fingerprints = {job.fingerprint() for job in jobs}
+        ports = (pick_free_port(), pick_free_port())
+        urls = tuple(f"http://127.0.0.1:{p}" for p in ports)
+        threads = [
+            _server(shard_map=ShardMap(urls=urls, index=i),
+                    port=ports[i], obs_root=tmp_path / "obs")
+            for i in range(2)]
+        try:
+            # One ambient root spans the whole request; the client
+            # inherits it instead of minting per-submit roots.  The
+            # shard groups go out one at a time because this in-process
+            # ring shares the per-process runlog writer — production
+            # rings are separate processes and run concurrently.
+            root = obs_trace.new_context()
+            previous = obs_trace.install(root)
+            try:
+                by_shard: Dict[int, List[SimJob]] = {0: [], 1: []}
+                for job in jobs:
+                    by_shard[shard_of(job.fingerprint(), 2)].append(job)
+                assert all(by_shard.values())  # the matrix spans both
+                for index, group in sorted(by_shard.items()):
+                    client = ServeClient(urls[index], timeout=120.0)
+                    client.submit(group)
+                    assert client.last_context is root
+            finally:
+                obs_trace.install(previous)
+            trace_id = root.trace_id
+            collected = obs_report.collect_trace(trace_id,
+                                                 root=tmp_path / "obs")
+            assert collected
+            # One trace id across both instances' runs.
+            assert {r["trace_id"] for r in collected} == {trace_id}
+            assert {r["trace_id"] for r in
+                    _obs_records(tmp_path / "obs")} == {trace_id}
+            assert len({r["run_id"] for r in collected}) >= 2
+            ends = [r for r in collected if r.get("event") == "job_end"]
+            assert {r["fingerprint"] for r in ends} == fingerprints
+            # And the CLI's view reassembles it into one tree.
+            text = obs_report.render_trace(trace_id, collected)
+            assert f"trace {trace_id}" in text
+            payload = obs_report.trace_to_json(trace_id, collected)
+            assert payload["records"] == len(collected)
+            assert len(payload["runs"]) >= 2
+        finally:
+            for thread in threads:
+                thread.stop()
+
+    def test_plane_off_is_bit_identical_and_unexposed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        jobs = _matrix_jobs()[:3]
+        direct = _direct(jobs)
+        thread = _server()
+        try:
+            client = ServeClient(thread.url, timeout=120.0)
+            served = client.submit(jobs)
+            assert _bytes(served) == _bytes(direct)
+            assert client.last_context is None
+            status, payload = client._get_raw(f"{thread.url}/metrics")
+            assert status == 404
+        finally:
+            thread.stop()
